@@ -1,0 +1,86 @@
+package drtmr_test
+
+// One benchmark per table/figure of the paper's evaluation (§7), backed by
+// the experiment drivers in internal/bench/harness. These run the SMOKE
+// scale so `go test -bench=.` finishes quickly; the full paper-scale sweeps
+// are `go run ./cmd/drtmr-bench -fig all`.
+//
+// Reported custom metrics: txns/s is committed transactions per second of
+// VIRTUAL time (the simulated cluster's time; see internal/sim), which is
+// the paper's metric; new-order/s likewise for TPC-C.
+
+import (
+	"strings"
+	"testing"
+
+	"drtmr/internal/bench/harness"
+)
+
+// reportFirstRow surfaces the experiment's first row (the headline
+// throughput row; sweep tables put their smallest configuration first) as
+// custom metrics.
+func reportFirstRow(b *testing.B, t harness.Table) {
+	b.Helper()
+	if len(t.Rows) == 0 || len(t.Rows[0].Values) == 0 {
+		b.Fatal("empty experiment table")
+	}
+	first := t.Rows[0]
+	for i, col := range t.Columns {
+		if i < len(first.Values) {
+			unit := strings.ReplaceAll(col, " ", "-") + "_txns/s"
+			b.ReportMetric(first.Values[i], unit)
+		}
+	}
+}
+
+func runFig(b *testing.B, fn func(harness.Scale) harness.Table) {
+	b.Helper()
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		t = fn(harness.Smoke)
+	}
+	reportFirstRow(b, t)
+}
+
+// BenchmarkFig10_TPCCScaleMachines reproduces Fig 10: TPC-C new-order
+// throughput vs machine count for DrTM+R, DrTM+R/3, DrTM and Calvin.
+func BenchmarkFig10_TPCCScaleMachines(b *testing.B) { runFig(b, harness.Fig10) }
+
+// BenchmarkFig11_TPCCScaleThreads reproduces Fig 11: thread scaling on a
+// fixed cluster; DrTM's big HTM regions stop scaling first.
+func BenchmarkFig11_TPCCScaleThreads(b *testing.B) { runFig(b, harness.Fig11) }
+
+// BenchmarkFig12_LogicalNodes reproduces Fig 12: logical-node scale-out.
+func BenchmarkFig12_LogicalNodes(b *testing.B) { runFig(b, harness.Fig12) }
+
+// BenchmarkFig13_SmallBankMachines reproduces Fig 13.
+func BenchmarkFig13_SmallBankMachines(b *testing.B) { runFig(b, harness.Fig13) }
+
+// BenchmarkFig14_SmallBankThreads reproduces Fig 14.
+func BenchmarkFig14_SmallBankThreads(b *testing.B) { runFig(b, harness.Fig14) }
+
+// BenchmarkFig15_SmallBankRepMachines reproduces Fig 15 (3-way replication,
+// NIC-bound).
+func BenchmarkFig15_SmallBankRepMachines(b *testing.B) { runFig(b, harness.Fig15) }
+
+// BenchmarkFig16_SmallBankRepThreads reproduces Fig 16 (replication
+// plateaus at the NIC as threads grow).
+func BenchmarkFig16_SmallBankRepThreads(b *testing.B) { runFig(b, harness.Fig16) }
+
+// BenchmarkFig17_CrossWarehouse reproduces Fig 17: throughput vs
+// cross-warehouse access probability.
+func BenchmarkFig17_CrossWarehouse(b *testing.B) { runFig(b, harness.Fig17) }
+
+// BenchmarkFig18_HighContention reproduces Fig 18: one warehouse per
+// machine.
+func BenchmarkFig18_HighContention(b *testing.B) { runFig(b, harness.Fig18) }
+
+// BenchmarkFig19_DataSize reproduces Fig 19: throughput vs warehouses.
+func BenchmarkFig19_DataSize(b *testing.B) { runFig(b, harness.Fig19) }
+
+// BenchmarkTable6_ReplicationImpact reproduces Table 6: replication's
+// throughput/latency cost.
+func BenchmarkTable6_ReplicationImpact(b *testing.B) { runFig(b, harness.Table6) }
+
+// BenchmarkSiloComparison reproduces §7.2's per-machine Silo comparison.
+func BenchmarkSiloComparison(b *testing.B) { runFig(b, harness.SiloComparison) }

@@ -1,0 +1,77 @@
+// Command drtmr-bench regenerates the paper's evaluation tables and figures
+// (§7) at full scale. Each -fig value maps to one experiment; "all" runs the
+// complete suite. Results print as text tables whose rows mirror the
+// paper's series.
+//
+// Usage:
+//
+//	drtmr-bench -fig 10          # Fig 10: TPC-C vs machines, all systems
+//	drtmr-bench -fig 16 -smoke   # quick, scaled-down run
+//	drtmr-bench -fig 20          # recovery timeline (wall clock)
+//	drtmr-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drtmr/internal/bench/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", or "all"`)
+	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
+	flag.Parse()
+
+	scale := harness.Full
+	if *smoke {
+		scale = harness.Smoke
+	}
+	figs := map[string]func(harness.Scale) harness.Table{
+		"10":   harness.Fig10,
+		"11":   harness.Fig11,
+		"12":   harness.Fig12,
+		"13":   harness.Fig13,
+		"14":   harness.Fig14,
+		"15":   harness.Fig15,
+		"16":   harness.Fig16,
+		"17":   harness.Fig17,
+		"18":   harness.Fig18,
+		"19":   harness.Fig19,
+		"6t":   harness.Table6,
+		"silo": harness.SiloComparison,
+	}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo"}
+
+	runOne := func(name string) {
+		if name == "20" {
+			runFor := 3 * time.Second
+			if *smoke {
+				runFor = 1500 * time.Millisecond
+			}
+			tl := harness.RunRecovery(3, 2, runFor, 0)
+			tl.Fprint(os.Stdout)
+			return
+		}
+		fn, ok := figs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		t := fn(scale)
+		t.Fprint(os.Stdout)
+		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *fig == "all" {
+		for _, name := range order {
+			runOne(name)
+		}
+		runOne("20")
+		return
+	}
+	runOne(*fig)
+}

@@ -1,0 +1,239 @@
+package drtmr_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"drtmr"
+)
+
+const tblAcct drtmr.TableID = 1
+
+func bal(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func val(b []byte) uint64 { return binary.LittleEndian.Uint64(b[:8]) }
+
+func openTestDB(t *testing.T, nodes, replicas int) *drtmr.DB {
+	t.Helper()
+	db, err := drtmr.Open(drtmr.Options{Nodes: nodes, Replicas: replicas, MemBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	db.CreateTable(tblAcct, drtmr.TableSpec{Name: "acct", ValueSize: 16, ExpectedRows: 256})
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := drtmr.Open(drtmr.Options{Nodes: 2, Replicas: 3}); err == nil {
+		t.Fatal("3 replicas on 2 nodes must be rejected")
+	}
+	db, err := drtmr.Open(drtmr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}
+
+func TestUpdateAndView(t *testing.T) {
+	db := openTestDB(t, 3, 3)
+	for k := uint64(0); k < 6; k++ {
+		db.MustLoad(tblAcct, k, bal(100))
+	}
+	s := db.Session(0)
+	if err := s.Update(func(tx *drtmr.Tx) error {
+		a, err := tx.Read(tblAcct, 0) // local
+		if err != nil {
+			return err
+		}
+		b, err := tx.Read(tblAcct, 1) // remote
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(tblAcct, 0, bal(val(a)-30)); err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 1, bal(val(b)+30))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got0, got1 uint64
+	s2 := db.Session(2)
+	if err := s2.View(func(tx *drtmr.Tx) error {
+		a, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		b, err := tx.Read(tblAcct, 1)
+		if err != nil {
+			return err
+		}
+		got0, got1 = val(a), val(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got0 != 70 || got1 != 130 {
+		t.Fatalf("transfer: %d %d", got0, got1)
+	}
+}
+
+func TestNotFoundSurfaces(t *testing.T) {
+	db := openTestDB(t, 2, 1)
+	s := db.Session(0)
+	err := s.View(func(tx *drtmr.Tx) error {
+		_, err := tx.Read(tblAcct, 12345)
+		return err
+	})
+	if !errors.Is(err, drtmr.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestConcurrentSessionsConserve(t *testing.T) {
+	const accounts = 12
+	db := openTestDB(t, 3, 1)
+	for k := uint64(0); k < accounts; k++ {
+		db.MustLoad(tblAcct, k, bal(1000))
+	}
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			s := db.Session(drtmr.NodeID(node))
+			for i := 0; i < 80; i++ {
+				from := uint64((node*7 + i) % accounts)
+				to := uint64((node*3 + i*5) % accounts)
+				if from == to {
+					continue
+				}
+				if err := s.Update(func(tx *drtmr.Tx) error {
+					a, err := tx.Read(tblAcct, from)
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(tblAcct, to)
+					if err != nil {
+						return err
+					}
+					if val(a) == 0 {
+						return nil
+					}
+					if err := tx.Write(tblAcct, from, bal(val(a)-1)); err != nil {
+						return err
+					}
+					return tx.Write(tblAcct, to, bal(val(b)+1))
+				}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	var total uint64
+	s := db.Session(0)
+	if err := s.View(func(tx *drtmr.Tx) error {
+		total = 0
+		for k := uint64(0); k < accounts; k++ {
+			v, err := tx.Read(tblAcct, k)
+			if err != nil {
+				return err
+			}
+			total += val(v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != accounts*1000 {
+		t.Fatalf("not conserved: %d", total)
+	}
+}
+
+func TestInsertDeleteThroughAPI(t *testing.T) {
+	db := openTestDB(t, 2, 1)
+	s := db.Session(0)
+	if err := s.Update(func(tx *drtmr.Tx) error {
+		return tx.Insert(tblAcct, 7, bal(55)) // remote shard (7%2=1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.View(func(tx *drtmr.Tx) error {
+		v, err := tx.Read(tblAcct, 7)
+		if err != nil {
+			return err
+		}
+		if val(v) != 55 {
+			t.Errorf("insert value: %d", val(v))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *drtmr.Tx) error {
+		return tx.Delete(tblAcct, 7)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.View(func(tx *drtmr.Tx) error {
+		_, err := tx.Read(tblAcct, 7)
+		return err
+	})
+	if !errors.Is(err, drtmr.ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+// TestSurvivesMachineFailure exercises the whole availability story through
+// the public API: kill a machine and keep transacting against its shard.
+func TestSurvivesMachineFailure(t *testing.T) {
+	db := openTestDB(t, 3, 3)
+	for k := uint64(0); k < 6; k++ {
+		db.MustLoad(tblAcct, k, bal(500))
+	}
+	db.Start()
+	s := db.Session(0)
+	// Write through once so the log pipeline is warm.
+	if err := s.Update(func(tx *drtmr.Tx) error {
+		v, err := tx.Read(tblAcct, 2) // shard 2 = machine 2
+		if err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 2, bal(val(v)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Cluster().Kill(2)
+	// Retry loop inside Update rides out detection + reconfiguration.
+	if err := s.Update(func(tx *drtmr.Tx) error {
+		v, err := tx.Read(tblAcct, 2)
+		if err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 2, bal(val(v)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := s.View(func(tx *drtmr.Tx) error {
+		v, err := tx.Read(tblAcct, 2)
+		if err != nil {
+			return err
+		}
+		got = val(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 502 {
+		t.Fatalf("post-failure value: %d want 502", got)
+	}
+}

@@ -1,0 +1,38 @@
+package drtmr_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"drtmr/internal/bench/harness"
+)
+
+// TestFig20_RecoveryTimeline reproduces Fig 20: kill one machine of a
+// replicated TPC-C cluster and verify (a) the failure is suspected only
+// after the lease expires (≈10ms), (b) the configuration recommits and
+// recovery completes, and (c) throughput resumes after the failure. It is a
+// test rather than a benchmark because it runs on wall-clock time.
+func TestFig20_RecoveryTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock recovery experiment")
+	}
+	lease := 150 * time.Millisecond
+	tl := harness.RunRecovery(3, 2, 3*time.Second, lease)
+	tl.Fprint(os.Stdout)
+	if tl.SuspectAt.IsZero() {
+		t.Fatal("failure never suspected")
+	}
+	if tl.ConfigAt.IsZero() {
+		t.Fatal("configuration never recommitted")
+	}
+	if tl.RecoveredAt.IsZero() {
+		t.Fatal("recovery never completed")
+	}
+	if d := time.Duration(tl.DetectNanos); d < lease/3 {
+		t.Errorf("suspected after %v; the %v lease should gate detection", d, lease)
+	}
+	if tl.PostFailPct < 20 {
+		t.Errorf("throughput regained only %.0f%% of pre-failure", tl.PostFailPct)
+	}
+}

@@ -1,0 +1,3 @@
+module drtmr
+
+go 1.22

@@ -1,0 +1,621 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"drtmr/internal/bench/tpcc"
+	"drtmr/internal/cluster"
+	"drtmr/internal/rdma"
+	"drtmr/internal/txn"
+)
+
+// Figure experiment drivers: one function per table/figure of §7. Each
+// returns a Table whose rows mirror the paper's series; Fprint renders it.
+// Scale sizes the run: Smoke keeps `go test -bench` fast, Full is the
+// cmd/drtmr-bench default.
+
+// Scale selects run size.
+type Scale int
+
+// Scales.
+const (
+	Smoke Scale = iota
+	Full
+)
+
+func (s Scale) txPerWorker() int {
+	if s == Smoke {
+		return 60
+	}
+	return 400
+}
+
+// Table is a rendered experiment: named columns, one row per x value.
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one sweep point.
+type Row struct {
+	X      float64
+	XName  string
+	Values []float64
+}
+
+// Fprint renders the table.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	fmt.Fprintf(w, "%-14s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		name := r.XName
+		if name == "" {
+			name = fmt.Sprintf("%g", r.X)
+		}
+		fmt.Fprintf(w, "%-14s", name)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, " %14.0f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Fig10 — TPC-C new-order throughput vs machine count (8 threads each):
+// DrTM+R, DrTM+R/3-way, DrTM, Calvin.
+func Fig10(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 10: TPC-C new-order throughput vs machines (8 threads/machine)",
+		XLabel:  "machines",
+		Columns: []string{"DrTM+R", "DrTM+R/r=3", "DrTM", "Calvin"},
+	}
+	threads := 8
+	if scale == Smoke {
+		threads = 2
+	}
+	maxNodes := 6
+	nodesList := []int{1, 2, 3, 4, 5, 6}
+	if scale == Smoke {
+		nodesList = []int{1, 3}
+	}
+	for _, n := range nodesList {
+		if n > maxNodes {
+			break
+		}
+		row := Row{X: float64(n)}
+		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM, SysCalvin} {
+			if sys == SysDrTMR3 && n < 3 {
+				// 3-way replication needs >= 3 machines; the paper
+				// replicates to standby machines below 3 — model by
+				// running with 3 nodes but load on n.
+				row.Values = append(row.Values, runFigPoint(sys, maxInt(n, 3), threads, scale))
+				continue
+			}
+			row.Values = append(row.Values, runFigPoint(sys, n, threads, scale))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func runFigPoint(sys System, nodes, threads int, scale Scale) float64 {
+	r := Run(Options{
+		System: sys, Workload: WLTPCC,
+		Nodes: nodes, ThreadsPerNode: threads,
+		WarehousesPerNode: threads,
+		TxPerWorker:       scale.txPerWorker(),
+	})
+	return r.NewOrderTPS
+}
+
+// Fig11 — TPC-C throughput vs threads per machine (6 machines): DrTM+R,
+// DrTM+R/3, DrTM. DrTM's big HTM regions degrade beyond ~8 threads.
+func Fig11(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 11: TPC-C new-order throughput vs threads (6 machines)",
+		XLabel:  "threads",
+		Columns: []string{"DrTM+R", "DrTM+R/r=3", "DrTM"},
+	}
+	nodes := 6
+	threadsList := []int{1, 2, 4, 8, 12, 16}
+	if scale == Smoke {
+		nodes = 2
+		threadsList = []int{1, 4}
+	}
+	for _, th := range threadsList {
+		row := Row{X: float64(th)}
+		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM} {
+			row.Values = append(row.Values, runFigPoint(sys, nodes, th, scale))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig12 — logical-node scale-out: N logical nodes x 4 threads (the paper
+// emulates up to 24 logical nodes on 6 machines; every node here is logical
+// anyway, so this is the same experiment at face value).
+func Fig12(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 12: TPC-C new-order throughput vs logical nodes (4 threads each)",
+		XLabel:  "logical-nodes",
+		Columns: []string{"DrTM+R"},
+		Notes:   []string{"every simulated machine is a logical node; cross-node interaction uses the RDMA protocol as in the paper's emulation"},
+	}
+	list := []int{6, 12, 18, 24}
+	if scale == Smoke {
+		list = []int{2, 4}
+	}
+	for _, n := range list {
+		row := Row{X: float64(n)}
+		row.Values = append(row.Values, runFigPoint(SysDrTMR, n, 4, scale))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// figSmallBank sweeps SmallBank throughput for Figs 13-16.
+func figSmallBank(title, xlabel string, replicated bool, byMachines bool, scale Scale) Table {
+	t := Table{
+		Title:   title,
+		XLabel:  xlabel,
+		Columns: []string{"remote=1%", "remote=5%", "remote=10%"},
+	}
+	sys := SysDrTMR
+	if replicated {
+		sys = SysDrTMR3
+	}
+	var sweep []int
+	if byMachines {
+		sweep = []int{1, 2, 3, 4, 5, 6}
+		if scale == Smoke {
+			sweep = []int{1, 3}
+		}
+	} else {
+		sweep = []int{1, 2, 4, 8, 12, 16}
+		if scale == Smoke {
+			sweep = []int{1, 4}
+		}
+	}
+	accounts := 10000
+	if scale == Smoke {
+		accounts = 1000
+	}
+	for _, x := range sweep {
+		row := Row{X: float64(x)}
+		for _, prob := range []float64{0.01, 0.05, 0.10} {
+			nodes, threads := 6, 8
+			if byMachines {
+				nodes, threads = x, 8
+				if scale == Smoke {
+					threads = 2
+				}
+			} else {
+				nodes, threads = 6, x
+				if scale == Smoke {
+					nodes = 2
+				}
+			}
+			if replicated && nodes < 3 {
+				nodes = 3
+			}
+			r := Run(Options{
+				System: sys, Workload: WLSmallBank,
+				Nodes: nodes, ThreadsPerNode: threads,
+				SBAccountsPerNode: accounts, SBRemoteProb: prob,
+				TxPerWorker: scale.txPerWorker(),
+			})
+			row.Values = append(row.Values, r.TotalTPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig13 — SmallBank vs machines (no replication).
+func Fig13(scale Scale) Table {
+	return figSmallBank("Fig 13: SmallBank throughput vs machines (DrTM+R, 8 threads)",
+		"machines", false, true, scale)
+}
+
+// Fig14 — SmallBank vs threads (no replication).
+func Fig14(scale Scale) Table {
+	return figSmallBank("Fig 14: SmallBank throughput vs threads (DrTM+R, 6 machines)",
+		"threads", false, false, scale)
+}
+
+// Fig15 — SmallBank vs machines, 3-way replication (NIC-bound).
+func Fig15(scale Scale) Table {
+	return figSmallBank("Fig 15: SmallBank throughput vs machines (DrTM+R/r=3, 8 threads)",
+		"machines", true, true, scale)
+}
+
+// Fig16 — SmallBank vs threads, 3-way replication (plateaus at the NIC).
+func Fig16(scale Scale) Table {
+	return figSmallBank("Fig 16: SmallBank throughput vs threads (DrTM+R/r=3, 6 machines)",
+		"threads", true, false, scale)
+}
+
+// Fig17 — TPC-C new-order throughput vs cross-warehouse access probability.
+func Fig17(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 17: TPC-C new-order throughput vs cross-warehouse access %, 6 machines x 8 threads",
+		XLabel:  "cross-wh %",
+		Columns: []string{"DrTM+R", "DrTM+R/r=3", "DrTM"},
+	}
+	nodes, threads := 6, 8
+	probs := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.00}
+	if scale == Smoke {
+		nodes, threads = 2, 2
+		probs = []float64{0.01, 0.50}
+	}
+	for _, p := range probs {
+		row := Row{X: p * 100}
+		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM} {
+			n := nodes
+			if sys == SysDrTMR3 && n < 3 {
+				n = 3
+			}
+			r := Run(Options{
+				System: sys, Workload: WLTPCC,
+				Nodes: n, ThreadsPerNode: threads,
+				WarehousesPerNode: threads,
+				CrossWarehouseNO:  p,
+				TxPerWorker:       scale.txPerWorker(),
+			})
+			row.Values = append(row.Values, r.NewOrderTPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig18 — high contention: ONE warehouse per machine, thread sweep.
+func Fig18(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 18: TPC-C new-order throughput, 1 warehouse/machine (high contention), 6 machines",
+		XLabel:  "threads",
+		Columns: []string{"DrTM+R", "DrTM"},
+	}
+	nodes := 6
+	threadsList := []int{1, 2, 4, 8, 12, 16}
+	if scale == Smoke {
+		nodes = 2
+		threadsList = []int{1, 4}
+	}
+	for _, th := range threadsList {
+		row := Row{X: float64(th)}
+		for _, sys := range []System{SysDrTMR, SysDrTM} {
+			r := Run(Options{
+				System: sys, Workload: WLTPCC,
+				Nodes: nodes, ThreadsPerNode: th,
+				WarehousesPerNode: 1, // all threads share one warehouse
+				TxPerWorker:       scale.txPerWorker(),
+			})
+			row.Values = append(row.Values, r.NewOrderTPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig19 — throughput vs database size (warehouses per machine).
+func Fig19(scale Scale) Table {
+	t := Table{
+		Title:   "Fig 19: TPC-C new-order throughput vs warehouses (6 machines x 8 threads)",
+		XLabel:  "warehouses",
+		Columns: []string{"DrTM+R", "DrTM+R/r=3"},
+	}
+	nodes, threads := 6, 8
+	whList := []int{8, 16, 32, 48, 64}
+	if scale == Smoke {
+		nodes, threads = 2, 2
+		whList = []int{2, 8}
+	}
+	for _, wh := range whList {
+		row := Row{X: float64(wh * nodes), XName: fmt.Sprintf("%d", wh*nodes)}
+		for _, sys := range []System{SysDrTMR, SysDrTMR3} {
+			r := Run(Options{
+				System: sys, Workload: WLTPCC,
+				Nodes: nodes, ThreadsPerNode: threads,
+				WarehousesPerNode: wh,
+				TxPerWorker:       scale.txPerWorker(),
+			})
+			row.Values = append(row.Values, r.NewOrderTPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table6 — replication impact on TPC-C throughput and latency (6 machines x
+// 8 threads): the paper reports <=41% throughput loss before the network
+// bottleneck.
+func Table6(scale Scale) Table {
+	t := Table{
+		Title:   "Table 6: 3-way replication impact, TPC-C 6 machines x 8 threads",
+		XLabel:  "metric",
+		Columns: []string{"DrTM+R", "DrTM+R/r=3", "overhead %"},
+	}
+	nodes, threads := 6, 8
+	if scale == Smoke {
+		nodes, threads = 3, 2
+	}
+	run := func(sys System) Result {
+		return Run(Options{
+			System: sys, Workload: WLTPCC,
+			Nodes: nodes, ThreadsPerNode: threads,
+			WarehousesPerNode: threads,
+			TxPerWorker:       scale.txPerWorker(),
+		})
+	}
+	a, b := run(SysDrTMR), run(SysDrTMR3)
+	over := (1 - b.NewOrderTPS/a.NewOrderTPS) * 100
+	t.Rows = append(t.Rows,
+		Row{XName: "new-order/s", Values: []float64{a.NewOrderTPS, b.NewOrderTPS, over}},
+		Row{XName: "latency us", Values: []float64{a.AvgLatencyUs, b.AvgLatencyUs,
+			(b.AvgLatencyUs/a.AvgLatencyUs - 1) * 100}},
+	)
+	return t
+}
+
+// SiloComparison — per-machine throughput: Silo vs a single DrTM+R machine
+// (§7.2's per-machine efficiency check).
+func SiloComparison(scale Scale) Table {
+	t := Table{
+		Title:   "§7.2: per-machine new-order throughput, Silo vs DrTM+R (1 machine)",
+		XLabel:  "threads",
+		Columns: []string{"DrTM+R(1 node)", "Silo"},
+	}
+	threadsList := []int{8, 16}
+	if scale == Smoke {
+		threadsList = []int{2}
+	}
+	for _, th := range threadsList {
+		row := Row{X: float64(th)}
+		a := Run(Options{System: SysDrTMR, Workload: WLTPCC, Nodes: 1,
+			ThreadsPerNode: th, WarehousesPerNode: th, TxPerWorker: scale.txPerWorker()})
+		b := Run(Options{System: SysSilo, Workload: WLTPCC, Nodes: 1,
+			ThreadsPerNode: th, WarehousesPerNode: th, TxPerWorker: scale.txPerWorker()})
+		row.Values = append(row.Values, a.NewOrderTPS, b.NewOrderTPS)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// RecoveryTimeline is the Fig 20 experiment: run TPC-C with 3-way
+// replication, kill a machine, and report the throughput timeline around the
+// failure plus the suspect / config-commit / recovery-done milestones. This
+// experiment runs on WALL-CLOCK time (leases and detection are real-time
+// mechanisms); throughput is reported in committed transactions per 2ms
+// bucket, normalized to the pre-failure average.
+type RecoveryTimeline struct {
+	Lease        time.Duration
+	KillAt       time.Time
+	SuspectAt    time.Time
+	ConfigAt     time.Time
+	RecoveredAt  time.Time
+	Buckets      []int // committed txns per BucketDur
+	BucketDur    time.Duration
+	Start        time.Time
+	PostFailPct  float64 // regained throughput as % of pre-failure
+	DetectNanos  int64
+	RecoverNanos int64
+}
+
+// RunRecovery executes the Fig 20 experiment. lease scales the paper's
+// conservative 10ms failure-detection lease: on dedicated cores 10ms works,
+// but the simulator multiplexes every machine's threads onto the host's
+// cores, where goroutine scheduling delays of tens of milliseconds would
+// cause false suspicions; the default below keeps the same *structure*
+// (detection gated by lease expiry, then reconfiguration, then log-replay
+// recovery) at a starvation-proof scale. EXPERIMENTS.md reports times
+// relative to the lease for comparison with the paper.
+func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) RecoveryTimeline {
+	if lease <= 0 {
+		lease = 150 * time.Millisecond
+	}
+	spec := cluster.Spec{
+		Nodes:    nodes,
+		Replicas: 3,
+		MemBytes: 64 << 20,
+		Lease:    lease,
+	}
+	c := cluster.New(spec)
+	wcfg := tpcc.Config{
+		Nodes: nodes, WarehousesPerNode: threads,
+		RemoteNewOrderProb: 0.01, RemotePaymentProb: 0.15,
+	}
+	for _, m := range c.Machines {
+		tpcc.CreateTables(m.Store, wcfg)
+	}
+	cfg0 := c.Coord.Current()
+	for n := 0; n < nodes; n++ {
+		if err := tpcc.Load(c.Machines[n].Store, wcfg, n, uint64(n)+3); err != nil {
+			panic(err)
+		}
+		for _, b := range cfg0.BackupsOf(cluster.ShardID(n)) {
+			for _, w := range wcfg.WarehousesOf(n) {
+				_ = tpcc.LoadWarehouse(c.Machines[b].Store, w, simRand(uint64(n)*7+uint64(b)))
+			}
+		}
+	}
+	var engines []*txn.Engine
+	for _, m := range c.Machines {
+		engines = append(engines, txn.NewEngine(m, wcfg.Partitioner(m.ID), txn.DefaultCosts()))
+	}
+	c.Start()
+	defer c.Stop()
+
+	tl := RecoveryTimeline{BucketDur: runFor / 100, Start: time.Now(), Lease: lease}
+	var commitMu sync.Mutex
+	var commitTimes []time.Time
+	recordCommit := func(ts time.Time) {
+		commitMu.Lock()
+		commitTimes = append(commitTimes, ts)
+		commitMu.Unlock()
+	}
+	stop := make(chan struct{})
+	victim := rdma.NodeID(nodes - 1)
+
+	// Workers: the victim's workers stop at the kill; the paper revives
+	// the failed instance on a surviving machine, so replacement workers
+	// start there once recovery completes.
+	startWorker := func(node int, tid int, seed uint64) {
+		w := engines[node].NewWorker(tid)
+		home := wcfg.WarehousesOf(int(victim))[tid%threads]
+		if node != int(victim) {
+			home = wcfg.WarehousesOf(node)[tid%threads]
+		}
+		ex := tpcc.NewExecutor(w, tpcc.NewGen(wcfg, home, seed))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if c.Machines[node].Dead() {
+				return
+			}
+			if _, err := ex.RunOne(); err == nil {
+				recordCommit(time.Now())
+			}
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		for t := 0; t < threads; t++ {
+			go startWorker(n, t, uint64(n*100+t+1))
+		}
+	}
+
+	// Milestone listener.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case ev := <-c.Events():
+				switch ev.Kind {
+				case "suspect":
+					if tl.SuspectAt.IsZero() {
+						tl.SuspectAt = ev.At
+					}
+				case "config-commit":
+					if tl.ConfigAt.IsZero() {
+						tl.ConfigAt = ev.At
+					}
+				case "recovery-done":
+					if tl.RecoveredAt.IsZero() {
+						tl.RecoveredAt = ev.At
+						// Revive the failed instance's workload on the
+						// promoted machine (shares its NIC, as in the
+						// paper: "two instances ... sharing a single
+						// InfiniBand NIC").
+						promoted := c.Coord.Current().PrimaryOf(cluster.ShardID(victim))
+						for t := 0; t < threads; t++ {
+							go startWorker(int(promoted), 100+t, uint64(900+t))
+						}
+					}
+				}
+			}
+		}
+	}()
+
+	time.Sleep(runFor / 3)
+	tl.KillAt = time.Now()
+	c.Kill(victim)
+	time.Sleep(2 * runFor / 3)
+	close(stop)
+
+	// Bucketize commits (stragglers may still append briefly; snapshot).
+	time.Sleep(20 * time.Millisecond)
+	commitMu.Lock()
+	snapshot := append([]time.Time(nil), commitTimes...)
+	commitMu.Unlock()
+	end := time.Now()
+	n := int(end.Sub(tl.Start)/tl.BucketDur) + 1
+	tl.Buckets = make([]int, n)
+	for _, ts := range snapshot {
+		i := int(ts.Sub(tl.Start) / tl.BucketDur)
+		if i >= 0 && i < n {
+			tl.Buckets[i]++
+		}
+	}
+	if !tl.SuspectAt.IsZero() {
+		tl.DetectNanos = tl.SuspectAt.Sub(tl.KillAt).Nanoseconds()
+	}
+	if !tl.RecoveredAt.IsZero() {
+		tl.RecoverNanos = tl.RecoveredAt.Sub(tl.KillAt).Nanoseconds()
+	}
+	// Pre/post throughput comparison.
+	killIdx := int(tl.KillAt.Sub(tl.Start) / tl.BucketDur)
+	pre := avgBuckets(tl.Buckets[:killIdx])
+	tailStart := killIdx + (n-killIdx)/2
+	post := avgBuckets(tl.Buckets[tailStart:])
+	if pre > 0 {
+		tl.PostFailPct = post / pre * 100
+	}
+	return tl
+}
+
+func avgBuckets(b []int) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	vals := append([]int(nil), b...)
+	sort.Ints(vals)
+	// Trim the 10% tails (startup/shutdown buckets).
+	lo, hi := len(vals)/10, len(vals)-len(vals)/10
+	if hi <= lo {
+		lo, hi = 0, len(vals)
+	}
+	sum := 0
+	for _, v := range vals[lo:hi] {
+		sum += v
+	}
+	return float64(sum) / float64(hi-lo)
+}
+
+// Fprint renders the recovery timeline.
+func (tl RecoveryTimeline) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== Fig 20: recovery timeline (wall clock) ==\n")
+	fmt.Fprintf(w, "kill at        t=%v\n", tl.KillAt.Sub(tl.Start).Round(time.Millisecond))
+	if !tl.SuspectAt.IsZero() {
+		fmt.Fprintf(w, "suspect        +%v after kill\n", time.Duration(tl.DetectNanos).Round(time.Millisecond))
+	}
+	if !tl.ConfigAt.IsZero() {
+		fmt.Fprintf(w, "config-commit  +%v after kill\n", tl.ConfigAt.Sub(tl.KillAt).Round(time.Millisecond))
+	}
+	if !tl.RecoveredAt.IsZero() {
+		fmt.Fprintf(w, "recovery-done  +%v after kill\n", time.Duration(tl.RecoverNanos).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "regained throughput: %.0f%% of pre-failure\n", tl.PostFailPct)
+	fmt.Fprintf(w, "timeline (txns per %v bucket):\n", tl.BucketDur)
+	for i, b := range tl.Buckets {
+		if i%10 == 0 {
+			fmt.Fprintf(w, "\n t=%4dms ", i*int(tl.BucketDur/time.Millisecond))
+		}
+		fmt.Fprintf(w, "%5d", b)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,345 @@
+// Package harness drives the paper's experiments: it builds a simulated
+// cluster for a chosen system (DrTM+R with or without replication, DrTM,
+// Calvin, Silo), loads a workload (TPC-C or SmallBank), runs worker threads
+// for a fixed transaction count, and reports throughput in virtual time —
+// committed transactions divided by the slowest worker's virtual elapsed
+// time (see internal/sim for why virtual time, not wall-clock, is the right
+// denominator for a simulated cluster).
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drtmr/internal/bench/smallbank"
+	"drtmr/internal/bench/tpcc"
+	"drtmr/internal/cluster"
+	"drtmr/internal/htm"
+	"drtmr/internal/rdma"
+	"drtmr/internal/txn"
+)
+
+// System selects the system under test.
+type System int
+
+// Systems.
+const (
+	SysDrTMR  System = iota // DrTM+R, no replication
+	SysDrTMR3               // DrTM+R with 3-way replication
+	SysDrTM                 // DrTM baseline (HTM+2PL, a-priori sets)
+	SysCalvin               // Calvin baseline (deterministic, IPoIB)
+	SysSilo                 // Silo baseline (single machine)
+)
+
+func (s System) String() string {
+	switch s {
+	case SysDrTMR:
+		return "DrTM+R"
+	case SysDrTMR3:
+		return "DrTM+R/r=3"
+	case SysDrTM:
+		return "DrTM"
+	case SysCalvin:
+		return "Calvin"
+	case SysSilo:
+		return "Silo"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Workload selects the benchmark.
+type Workload int
+
+// Workloads.
+const (
+	WLTPCC Workload = iota
+	WLSmallBank
+)
+
+// Options configures one experiment run.
+type Options struct {
+	System   System
+	Workload Workload
+
+	Nodes          int
+	ThreadsPerNode int
+	TxPerWorker    int
+
+	// TPC-C knobs.
+	WarehousesPerNode int
+	CrossWarehouseNO  float64 // new-order remote supply probability
+	CrossWarehousePay float64 // payment remote customer probability
+
+	// SmallBank knobs.
+	SBAccountsPerNode int
+	SBRemoteProb      float64
+
+	HTM  htm.Config
+	Seed uint64
+}
+
+// Defaults fills unset fields with the paper's defaults.
+func (o Options) Defaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 6
+	}
+	if o.ThreadsPerNode == 0 {
+		o.ThreadsPerNode = 8
+	}
+	if o.TxPerWorker == 0 {
+		o.TxPerWorker = 400
+	}
+	if o.WarehousesPerNode == 0 {
+		o.WarehousesPerNode = o.ThreadsPerNode
+	}
+	if o.CrossWarehouseNO == 0 {
+		o.CrossWarehouseNO = 0.01
+	}
+	if o.CrossWarehousePay == 0 {
+		o.CrossWarehousePay = 0.15
+	}
+	if o.SBAccountsPerNode == 0 {
+		o.SBAccountsPerNode = 10000
+	}
+	if o.SBRemoteProb == 0 {
+		o.SBRemoteProb = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Result is one experiment measurement.
+type Result struct {
+	System   System
+	Workload Workload
+
+	Committed uint64
+	NewOrders uint64 // TPC-C only: the paper's headline metric
+
+	VirtualSec   float64
+	TotalTPS     float64
+	NewOrderTPS  float64
+	AbortRate    float64
+	Fallbacks    uint64
+	AvgLatencyUs float64
+}
+
+func (r Result) String() string {
+	if r.Workload == WLTPCC {
+		return fmt.Sprintf("%-10s total=%9.0f txns/s  new-order=%9.0f txns/s  abort=%5.1f%%  lat=%6.1fus",
+			r.System, r.TotalTPS, r.NewOrderTPS, r.AbortRate*100, r.AvgLatencyUs)
+	}
+	return fmt.Sprintf("%-10s total=%9.0f txns/s  abort=%5.1f%%  lat=%6.1fus",
+		r.System, r.TotalTPS, r.AbortRate*100, r.AvgLatencyUs)
+}
+
+// replicasFor maps the system to its replication degree.
+func replicasFor(s System) int {
+	if s == SysDrTMR3 {
+		return 3
+	}
+	return 1
+}
+
+// Run executes one experiment.
+func Run(o Options) Result {
+	o = o.Defaults()
+	switch o.System {
+	case SysDrTMR, SysDrTMR3:
+		return runDrTMR(o)
+	case SysDrTM:
+		return runDrTMBaseline(o)
+	case SysCalvin:
+		return runCalvinBaseline(o)
+	case SysSilo:
+		return runSiloBaseline(o)
+	default:
+		panic("harness: unknown system")
+	}
+}
+
+// buildCluster creates a cluster, per-machine stores and loads the workload
+// (primaries and backups).
+func buildCluster(o Options, replicas int) (*cluster.Cluster, interface{}) {
+	c := cluster.New(cluster.Spec{
+		Nodes:    o.Nodes,
+		Replicas: replicas,
+		MemBytes: memFor(o),
+		HTM:      o.HTM,
+		RDMA:     rdma.Config{NICBytesPerSec: rdma.NICBandwidth56G},
+		// Throughput experiments never kill machines; an effectively
+		// infinite lease prevents false suspicions while the host
+		// oversubscribes its cores running worker goroutines.
+		Lease: time.Hour,
+	})
+	cfg0 := c.Coord.Current()
+	switch o.Workload {
+	case WLTPCC:
+		wcfg := tpcc.Config{
+			Nodes:              o.Nodes,
+			WarehousesPerNode:  o.WarehousesPerNode,
+			RemoteNewOrderProb: o.CrossWarehouseNO,
+			RemotePaymentProb:  o.CrossWarehousePay,
+		}
+		for _, m := range c.Machines {
+			tpcc.CreateTables(m.Store, wcfg)
+		}
+		for n := 0; n < o.Nodes; n++ {
+			if err := tpcc.Load(c.Machines[n].Store, wcfg, n, o.Seed+uint64(n)); err != nil {
+				panic(err)
+			}
+			for _, b := range cfg0.BackupsOf(cluster.ShardID(n)) {
+				for _, w := range wcfg.WarehousesOf(n) {
+					if err := tpcc.LoadWarehouse(c.Machines[b].Store, w, simRand(o.Seed+uint64(n)*31+uint64(b))); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		return c, wcfg
+	case WLSmallBank:
+		wcfg := smallbank.Config{
+			AccountsPerNode: o.SBAccountsPerNode,
+			Nodes:           o.Nodes,
+			RemoteProb:      o.SBRemoteProb,
+			HotFraction:     0.04,
+			InitialBalance:  10000,
+		}
+		for _, m := range c.Machines {
+			smallbank.CreateTables(m.Store, wcfg)
+		}
+		for s := 0; s < o.Nodes; s++ {
+			shard := cluster.ShardID(s)
+			nodes := append([]rdma.NodeID{cfg0.PrimaryOf(shard)}, cfg0.BackupsOf(shard)...)
+			for _, nd := range nodes {
+				if err := smallbank.Load(c.Machines[nd].Store, wcfg, shard); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return c, wcfg
+	default:
+		panic("harness: unknown workload")
+	}
+}
+
+func memFor(o Options) int {
+	if o.Workload == WLTPCC {
+		// ~3MB per warehouse (stock dominates) x copies + slack.
+		per := 4 << 20
+		need := o.WarehousesPerNode * per * 3
+		if need < 64<<20 {
+			need = 64 << 20
+		}
+		return need
+	}
+	need := o.SBAccountsPerNode * 2 * 128 * 3
+	if need < 32<<20 {
+		need = 32 << 20
+	}
+	return need
+}
+
+// runDrTMR measures DrTM+R (with or without replication).
+func runDrTMR(o Options) Result {
+	replicas := replicasFor(o.System)
+	c, wcfgAny := buildCluster(o, replicas)
+	defer c.Stop()
+
+	var engines []*txn.Engine
+	switch o.Workload {
+	case WLTPCC:
+		wcfg := wcfgAny.(tpcc.Config)
+		for _, m := range c.Machines {
+			engines = append(engines, txn.NewEngine(m, wcfg.Partitioner(m.ID), txn.DefaultCosts()))
+		}
+	case WLSmallBank:
+		wcfg := wcfgAny.(smallbank.Config)
+		for _, m := range c.Machines {
+			engines = append(engines, txn.NewEngine(m, wcfg.Partitioner(), txn.DefaultCosts()))
+		}
+	}
+	c.Start()
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		committed  uint64
+		newOrders  uint64
+		aborts     uint64
+		fallbacks  uint64
+		maxVirtual int64
+	)
+	for n := 0; n < o.Nodes; n++ {
+		for t := 0; t < o.ThreadsPerNode; t++ {
+			wg.Add(1)
+			go func(node, tid int) {
+				defer wg.Done()
+				w := engines[node].NewWorker(tid)
+				var localNO uint64
+				switch o.Workload {
+				case WLTPCC:
+					wcfg := wcfgAny.(tpcc.Config)
+					whs := wcfg.WarehousesOf(node)
+					home := whs[tid%len(whs)]
+					ex := tpcc.NewExecutor(w, tpcc.NewGen(wcfg, home, o.Seed+uint64(node*100+tid)))
+					for i := 0; i < o.TxPerWorker; i++ {
+						ty, err := ex.RunOne()
+						if err != nil {
+							continue
+						}
+						if ty == tpcc.TxNewOrder {
+							localNO++
+						}
+					}
+				case WLSmallBank:
+					wcfg := wcfgAny.(smallbank.Config)
+					g := smallbank.NewGen(wcfg, cluster.ShardID(node), o.Seed+uint64(node*100+tid))
+					for i := 0; i < o.TxPerWorker; i++ {
+						_ = smallbank.Execute(w, g.Next())
+					}
+				}
+				mu.Lock()
+				committed += w.Stats.Committed
+				newOrders += localNO
+				aborts += w.Stats.AbortsTotal()
+				fallbacks += w.Stats.Fallbacks
+				if v := w.Clk.Now(); v > maxVirtual {
+					maxVirtual = v
+				}
+				mu.Unlock()
+			}(n, t)
+		}
+	}
+	wg.Wait()
+	return summarize(o, committed, newOrders, aborts, fallbacks, maxVirtual)
+}
+
+func summarize(o Options, committed, newOrders, aborts, fallbacks uint64, maxVirtual int64) Result {
+	vs := float64(maxVirtual) / 1e9
+	if vs <= 0 {
+		vs = 1e-9
+	}
+	r := Result{
+		System:     o.System,
+		Workload:   o.Workload,
+		Committed:  committed,
+		NewOrders:  newOrders,
+		VirtualSec: vs,
+		Fallbacks:  fallbacks,
+	}
+	r.TotalTPS = float64(committed) / vs
+	r.NewOrderTPS = float64(newOrders) / vs
+	if committed+aborts > 0 {
+		r.AbortRate = float64(aborts) / float64(committed+aborts)
+	}
+	if committed > 0 {
+		workers := float64(o.Nodes * o.ThreadsPerNode)
+		r.AvgLatencyUs = vs / (float64(committed) / workers) * 1e6
+	}
+	return r
+}

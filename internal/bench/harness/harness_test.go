@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeAllSystems(t *testing.T) {
+	base := Options{Nodes: 2, ThreadsPerNode: 2, TxPerWorker: 40, WarehousesPerNode: 2}
+	for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM, SysCalvin, SysSilo} {
+		o := base
+		o.System = sys
+		r := Run(o)
+		fmt.Printf("%v\n", r)
+		if r.Committed == 0 {
+			t.Errorf("%v: nothing committed", sys)
+		}
+	}
+	o := base
+	o.Workload = WLSmallBank
+	o.SBAccountsPerNode = 500
+	r := Run(o)
+	fmt.Printf("smallbank: %v\n", r)
+	if r.Committed == 0 {
+		t.Error("smallbank: nothing committed")
+	}
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"drtmr/internal/memstore"
+	"drtmr/internal/oplog"
+	"drtmr/internal/rdma"
+	"drtmr/internal/sim"
+)
+
+func testSpec(nodes, replicas int) Spec {
+	return Spec{
+		Nodes:          nodes,
+		Replicas:       replicas,
+		MemBytes:       8 << 20,
+		RingBytes:      1 << 14,
+		Lease:          10 * time.Millisecond,
+		HeartbeatEvery: 2 * time.Millisecond,
+	}
+}
+
+func TestInitialConfigPlacement(t *testing.T) {
+	cfg := NewInitialConfig(6, 3)
+	if cfg.Epoch != 1 || cfg.NumShards() != 6 {
+		t.Fatalf("cfg: %+v", cfg)
+	}
+	for s := 0; s < 6; s++ {
+		if cfg.PrimaryOf(ShardID(s)) != rdma.NodeID(s) {
+			t.Fatalf("shard %d primary: %d", s, cfg.PrimaryOf(ShardID(s)))
+		}
+		b := cfg.BackupsOf(ShardID(s))
+		if len(b) != 2 || b[0] != rdma.NodeID((s+1)%6) || b[1] != rdma.NodeID((s+2)%6) {
+			t.Fatalf("shard %d backups: %v", s, b)
+		}
+	}
+}
+
+func TestConfigWithoutNode(t *testing.T) {
+	cfg := NewInitialConfig(3, 3)
+	next, err := cfg.WithoutNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 || next.IsMember(1) {
+		t.Fatalf("next: %+v", next)
+	}
+	// Shard 1's primary moves to its first backup (node 2).
+	if next.PrimaryOf(1) != 2 {
+		t.Fatalf("promoted primary: %d", next.PrimaryOf(1))
+	}
+	// Node 1 removed from all backup lists.
+	for s := 0; s < 3; s++ {
+		for _, b := range next.BackupsOf(ShardID(s)) {
+			if b == 1 {
+				t.Fatalf("dead node still backup of %d", s)
+			}
+		}
+	}
+	// Without replication, losing a node is unrecoverable.
+	solo := NewInitialConfig(2, 1)
+	if _, err := solo.WithoutNode(0); err == nil {
+		t.Fatal("expected unrecoverable shard error")
+	}
+}
+
+func TestCoordinatorProposeCAS(t *testing.T) {
+	coord := NewCoordinator(NewInitialConfig(3, 2))
+	cur := coord.Current()
+	n1, _ := cur.WithoutNode(2)
+	winner, won := coord.Propose(n1)
+	if !won || winner.Epoch != 2 {
+		t.Fatalf("first proposal: won=%v epoch=%d", won, winner.Epoch)
+	}
+	// A stale concurrent proposal for the same epoch must lose and get
+	// the winner back.
+	n2, _ := cur.WithoutNode(1)
+	got, won := coord.Propose(n2)
+	if won {
+		t.Fatal("stale proposal won")
+	}
+	if got.Epoch != 2 || got.IsMember(2) {
+		t.Fatalf("loser should see winner's config: %+v", got)
+	}
+	if coord.Epoch() != 2 {
+		t.Fatalf("epoch: %d", coord.Epoch())
+	}
+}
+
+func TestRPCRoundtrip(t *testing.T) {
+	c := New(testSpec(2, 1))
+	c.Start()
+	defer c.Stop()
+	c.Machines[1].RegisterHandler(0x42, func(from rdma.NodeID, payload []byte) []byte {
+		return append([]byte("echo:"), payload...)
+	})
+	var clk sim.Clock
+	qp := c.Net.NewQP(0, 1, &clk)
+	reply, err := c.Machines[0].Call(qp, 0x42, []byte("ping"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:ping" {
+		t.Fatalf("reply: %q", reply)
+	}
+}
+
+func TestFailureDetectionAndReconfig(t *testing.T) {
+	c := New(testSpec(3, 3))
+	c.Start()
+	defer c.Stop()
+	time.Sleep(30 * time.Millisecond) // let heartbeats establish
+	killAt := time.Now()
+	c.Kill(1)
+	var suspectAt, commitAt time.Time
+	deadline := time.After(2 * time.Second)
+	for suspectAt.IsZero() || commitAt.IsZero() {
+		select {
+		case ev := <-c.Events():
+			switch ev.Kind {
+			case "suspect":
+				if suspectAt.IsZero() {
+					suspectAt = ev.At
+				}
+			case "config-commit":
+				commitAt = ev.At
+			}
+		case <-deadline:
+			t.Fatalf("no reconfiguration after kill (suspect=%v commit=%v)",
+				suspectAt, commitAt)
+		}
+	}
+	if suspectAt.Sub(killAt) < c.Spec.Lease/2 {
+		t.Fatalf("suspected too fast (%v): lease not honored", suspectAt.Sub(killAt))
+	}
+	// Survivors converge on epoch 2 with node 1 gone and shard 1 promoted.
+	waitFor := func(m *Machine) *Config {
+		for i := 0; i < 200; i++ {
+			if cfg := m.Config(); cfg.Epoch >= 2 {
+				return cfg
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("machine %d never saw epoch 2", m.ID)
+		return nil
+	}
+	for _, id := range []rdma.NodeID{0, 2} {
+		cfg := waitFor(c.Machines[id])
+		if cfg.IsMember(1) {
+			t.Fatalf("machine %d still sees node 1 as member", id)
+		}
+		if cfg.PrimaryOf(1) != 2 {
+			t.Fatalf("machine %d: shard 1 primary = %d, want 2", id, cfg.PrimaryOf(1))
+		}
+	}
+}
+
+func TestLogReplicationThroughMachines(t *testing.T) {
+	c := New(testSpec(3, 3))
+	for _, m := range c.Machines {
+		m.Store.CreateTable(1, memstore.TableSpec{Name: "kv", ValueSize: 16, ExpectedRows: 64})
+	}
+	c.Start()
+	defer c.Stop()
+	// Machine 0 replicates a shard-0 update to its backups (1 and 2).
+	var clk sim.Clock
+	val := make([]byte, 16)
+	copy(val, "replicated!")
+	entry := oplog.Encode(1, []oplog.Rec{{
+		Kind: oplog.KindInsert, Table: 1, Shard: 0, Key: 77, Seq: 2, Value: val,
+	}})
+	for _, b := range []rdma.NodeID{1, 2} {
+		qp := c.Net.NewQP(0, b, &clk)
+		if err := c.Machines[0].LogWriter(b).Append(qp, entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Aux threads should apply within a few polling rounds.
+	ok := false
+	for i := 0; i < 200 && !ok; i++ {
+		ok = true
+		for _, b := range []rdma.NodeID{1, 2} {
+			if _, found := c.Machines[b].Store.Table(1).Lookup(77); !found {
+				ok = false
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("backups never applied the log entry")
+	}
+}
+
+func TestRecoveryPromotesBackupWithData(t *testing.T) {
+	c := New(testSpec(3, 3))
+	for _, m := range c.Machines {
+		m.Store.CreateTable(1, memstore.TableSpec{Name: "kv", ValueSize: 16, ExpectedRows: 64})
+	}
+	c.Start()
+	defer c.Stop()
+	// Shard 1 lives on machine 1; replicate a record to backups 2 and 0.
+	var clk sim.Clock
+	val := make([]byte, 16)
+	copy(val, "survive-me")
+	entry := oplog.Encode(5, []oplog.Rec{{
+		Kind: oplog.KindInsert, Table: 1, Shard: 1, Key: 500, Seq: 2, Value: val,
+	}})
+	for _, b := range []rdma.NodeID{2, 0} {
+		qp := c.Net.NewQP(1, b, &clk)
+		if err := c.Machines[1].LogWriter(b).Append(qp, entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Kill(1)
+	// Wait for recovery-done.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-c.Events():
+			if ev.Kind == "recovery-done" {
+				goto recovered
+			}
+		case <-deadline:
+			t.Fatal("recovery never completed")
+		}
+	}
+recovered:
+	// New primary of shard 1 is machine 2, and it has the record.
+	cfg := c.Coord.Current()
+	if cfg.PrimaryOf(1) != 2 {
+		t.Fatalf("promoted primary: %d", cfg.PrimaryOf(1))
+	}
+	off, ok := c.Machines[2].Store.Table(1).Lookup(500)
+	if !ok {
+		t.Fatal("promoted primary lost the record")
+	}
+	got := c.Machines[2].Store.Table(1).ReadValueNonTx(off)
+	if string(got[:10]) != "survive-me" {
+		t.Fatalf("value: %q", got)
+	}
+}

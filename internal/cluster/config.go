@@ -1,0 +1,118 @@
+// Package cluster manages the DrTM+R cluster: per-machine resources (HTM
+// engine, memory store, NVRAM log rings, NIC), the coordination service used
+// to agree on configurations (the paper uses ZooKeeper; zklite here), shard
+// placement with primary-backup replication, RDMA-based lease failure
+// detection, and the reconfiguration/recovery protocol of §5.2.
+package cluster
+
+import (
+	"fmt"
+
+	"drtmr/internal/rdma"
+)
+
+// ShardID identifies a data partition. Initially shard i is primary on
+// machine i; recovery remaps failed shards onto surviving machines, which is
+// how the paper's "instance on failed machine is revived on a surviving
+// machine" works.
+type ShardID uint32
+
+// Config is one committed cluster configuration (a vertical-Paxos ballot):
+// an epoch, the set of live machines, and the shard placement.
+type Config struct {
+	Epoch uint64
+	// Alive[node] reports cluster membership. Locks held by non-members
+	// are dangling and may be passively released (§5.2).
+	Alive []bool
+	// Primary[shard] is the machine currently serving the shard.
+	Primary []rdma.NodeID
+	// Backups[shard] are the f replica holders, in promotion order.
+	Backups [][]rdma.NodeID
+}
+
+// NewInitialConfig builds epoch-1 placement: shard i primary on machine i,
+// backed up on the next f machines in ring order.
+func NewInitialConfig(nodes, replicas int) *Config {
+	if replicas < 1 {
+		replicas = 1
+	}
+	f := replicas - 1
+	if f > nodes-1 {
+		f = nodes - 1
+	}
+	c := &Config{
+		Epoch:   1,
+		Alive:   make([]bool, nodes),
+		Primary: make([]rdma.NodeID, nodes),
+		Backups: make([][]rdma.NodeID, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		c.Alive[i] = true
+		c.Primary[i] = rdma.NodeID(i)
+		for b := 1; b <= f; b++ {
+			c.Backups[i] = append(c.Backups[i], rdma.NodeID((i+b)%nodes))
+		}
+	}
+	return c
+}
+
+// NumShards returns the shard count (fixed for the cluster's lifetime).
+func (c *Config) NumShards() int { return len(c.Primary) }
+
+// IsMember reports whether node is in the configuration.
+func (c *Config) IsMember(node rdma.NodeID) bool {
+	return int(node) < len(c.Alive) && c.Alive[node]
+}
+
+// PrimaryOf returns the machine serving shard.
+func (c *Config) PrimaryOf(shard ShardID) rdma.NodeID { return c.Primary[shard] }
+
+// BackupsOf returns shard's replica holders.
+func (c *Config) BackupsOf(shard ShardID) []rdma.NodeID { return c.Backups[shard] }
+
+// WithoutNode derives the successor configuration after dead fails: epoch+1,
+// dead removed, its primaries promoted to their first live backup, and dead
+// removed from all backup lists. Returns an error if some shard would lose
+// its last copy.
+func (c *Config) WithoutNode(dead rdma.NodeID) (*Config, error) {
+	next := &Config{
+		Epoch:   c.Epoch + 1,
+		Alive:   append([]bool(nil), c.Alive...),
+		Primary: append([]rdma.NodeID(nil), c.Primary...),
+		Backups: make([][]rdma.NodeID, len(c.Backups)),
+	}
+	next.Alive[dead] = false
+	for s := range c.Backups {
+		for _, b := range c.Backups[s] {
+			if b != dead {
+				next.Backups[s] = append(next.Backups[s], b)
+			}
+		}
+	}
+	for s, p := range next.Primary {
+		if p != dead {
+			continue
+		}
+		if len(next.Backups[s]) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d lost its last copy", s)
+		}
+		next.Primary[s] = next.Backups[s][0]
+		next.Backups[s] = next.Backups[s][1:]
+	}
+	return next, nil
+}
+
+// clone deep-copies a config (zklite hands out copies so committed
+// configurations are immutable).
+func (c *Config) clone() *Config {
+	n := &Config{
+		Epoch:   c.Epoch,
+		Alive:   append([]bool(nil), c.Alive...),
+		Primary: append([]rdma.NodeID(nil), c.Primary...),
+		Backups: make([][]rdma.NodeID, len(c.Backups)),
+	}
+	for i := range c.Backups {
+		n.Backups[i] = append([]rdma.NodeID(nil), c.Backups[i]...)
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"drtmr/internal/memstore"
+	"drtmr/internal/oplog"
+	"drtmr/internal/rdma"
+)
+
+// Failure detection and recovery (§5.2).
+//
+// Every machine runs a detector thread that reads each peer's heartbeat word
+// with one-sided RDMA on a short period. A peer is *suspected* once its
+// heartbeat has not advanced (or its NIC is unreachable) for a full lease.
+// The suspecting machine proposes the successor configuration through the
+// coordination service; the winning proposal commits atomically, survivors
+// observe the new epoch, and each machine promoted to primary for an
+// orphaned shard performs recovery:
+//
+//  1. Drain its local log rings, applying every published entry for shards
+//     it now replicates (the redo path; entries below coordinators'
+//     watermarks were already both applied and truncated).
+//  2. Forward records of *other* shards found in published entries to their
+//     current primaries (coordinator died between publishing rings, see the
+//     oplog package comment) — the cross-redo that closes the partial-
+//     replication window.
+//  3. Signal recovery-done.
+//
+// Dangling locks left by the dead machine are released passively by worker
+// threads when they encounter a lock whose owner is not in the current
+// configuration — that path lives in the transaction layer; this file only
+// provides the membership question it asks.
+
+// RPC kinds used by recovery.
+const (
+	rpcRedo = 0x10 // forward a full log record to its shard's primary
+)
+
+type recoveryState struct {
+	mu        sync.Mutex
+	suspected map[rdma.NodeID]bool
+}
+
+// wgDetectors starts one detector per live machine.
+func (c *Cluster) wgDetectors() {
+	c.recovery.suspected = make(map[rdma.NodeID]bool)
+	for _, m := range c.Machines {
+		m.wg.Add(1)
+		go m.runDetector()
+		m.RegisterHandler(rpcRedo, m.handleRedo)
+	}
+}
+
+// runDetector polls peers' heartbeat words and initiates reconfiguration
+// when a lease expires.
+func (m *Machine) runDetector() {
+	defer m.wg.Done()
+	type peerState struct {
+		lastBeat uint64
+		lastSeen time.Time
+	}
+	peers := make(map[rdma.NodeID]*peerState)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(m.cluster.Spec.HeartbeatEvery):
+		}
+		cfg := m.cfg.Load()
+		now := time.Now()
+		for p := 0; p < m.cluster.Spec.Nodes; p++ {
+			pid := rdma.NodeID(p)
+			if pid == m.ID || !cfg.IsMember(pid) {
+				continue
+			}
+			ps := peers[pid]
+			if ps == nil {
+				ps = &peerState{lastSeen: now}
+				peers[pid] = ps
+			}
+			beat, err := m.auxQPs[p].Read64(HeartbeatOff)
+			if err == nil && beat != ps.lastBeat {
+				ps.lastBeat = beat
+				ps.lastSeen = now
+				continue
+			}
+			if now.Sub(ps.lastSeen) >= m.cluster.Spec.Lease {
+				m.suspect(pid)
+				ps.lastSeen = now // back off before re-suspecting
+			}
+		}
+	}
+}
+
+// suspect proposes removing dead from the configuration and, if this
+// machine's proposal wins, triggers recovery cluster-wide (each survivor
+// reacts to the epoch change it observes).
+func (m *Machine) suspect(dead rdma.NodeID) {
+	c := m.cluster
+	c.recovery.mu.Lock()
+	already := c.recovery.suspected[dead]
+	c.recovery.suspected[dead] = true
+	c.recovery.mu.Unlock()
+	if !already {
+		c.emit("suspect", dead)
+	}
+	cur := c.Coord.Current()
+	if !cur.IsMember(dead) {
+		return // someone already reconfigured
+	}
+	next, err := cur.WithoutNode(dead)
+	if err != nil {
+		return // unrecoverable shard; keep the config (operators' problem)
+	}
+	if _, won := c.Coord.Propose(next); won {
+		c.emit("config-commit", dead)
+	}
+}
+
+// applyNewConfig installs cfg and performs this machine's share of recovery.
+func (m *Machine) applyNewConfig(cfg *Config) {
+	old := m.cfg.Load()
+	if cfg.Epoch <= old.Epoch {
+		return
+	}
+	m.cfg.Store(cfg)
+	// Promotion check: shards whose primary moved to us in this epoch.
+	promoted := false
+	for s := 0; s < cfg.NumShards(); s++ {
+		if cfg.Primary[s] == m.ID && old.Primary[s] != m.ID {
+			promoted = true
+		}
+	}
+	m.recoverLogs(cfg)
+	if promoted {
+		m.cluster.emit("recovery-done", m.ID)
+	}
+}
+
+// recoverLogs drains and redoes this machine's rings: local entries for
+// shards it replicates are applied; foreign records are forwarded to their
+// current primaries.
+func (m *Machine) recoverLogs(cfg *Config) {
+	for _, a := range m.appliers {
+		// Apply everything published (idempotent).
+		_, _ = a.Poll()
+		// Cross-redo: forward foreign records.
+		_ = a.Scan(func(txnID uint64, recs []oplog.Rec) error {
+			for _, r := range recs {
+				shard := ShardID(r.Shard)
+				if m.Replicates(shard) {
+					continue // applied above
+				}
+				primary := cfg.PrimaryOf(shard)
+				if primary == m.ID || !cfg.IsMember(primary) {
+					continue
+				}
+				payload := encodeRedo(r)
+				_, _ = m.Call(m.auxQPs[primary], rpcRedo, payload, 100*time.Millisecond)
+			}
+			return nil
+		})
+	}
+}
+
+// handleRedo applies a forwarded log record on the shard's current primary
+// (and lets normal replication re-propagate it later if needed).
+func (m *Machine) handleRedo(from rdma.NodeID, payload []byte) []byte {
+	r, err := decodeRedo(payload)
+	if err != nil {
+		return []byte{0}
+	}
+	if !m.Replicates(ShardID(r.Shard)) {
+		return []byte{0}
+	}
+	// Any applier can install records (they share the machine's store).
+	if err := m.appliers[(int(m.ID)+1)%len(m.appliers)].ApplyRec(r); err != nil {
+		return []byte{0}
+	}
+	return []byte{1}
+}
+
+func encodeRedo(r oplog.Rec) []byte {
+	buf := make([]byte, 24+len(r.Value))
+	buf[0] = r.Kind
+	buf[1] = uint8(r.Table)
+	binary.LittleEndian.PutUint16(buf[2:4], r.Shard)
+	binary.LittleEndian.PutUint64(buf[8:16], r.Key)
+	binary.LittleEndian.PutUint64(buf[16:24], r.Seq)
+	copy(buf[24:], r.Value)
+	return buf
+}
+
+func decodeRedo(buf []byte) (oplog.Rec, error) {
+	if len(buf) < 24 {
+		return oplog.Rec{}, errShortRedo
+	}
+	return oplog.Rec{
+		Kind:  buf[0],
+		Table: memstore.TableID(buf[1]),
+		Shard: binary.LittleEndian.Uint16(buf[2:4]),
+		Key:   binary.LittleEndian.Uint64(buf[8:16]),
+		Seq:   binary.LittleEndian.Uint64(buf[16:24]),
+		Value: append([]byte(nil), buf[24:]...),
+	}, nil
+}
+
+var errShortRedo = errors.New("cluster: short redo payload")

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Coordinator is the agreement service for cluster configurations — the role
+// ZooKeeper plays in the paper ("DrTM+R leverages ZooKeeper to reach an
+// agreement on the current configuration among surviving machines"). Only
+// the agreement semantics matter to the protocol: configurations commit
+// atomically with strictly increasing epochs, every machine observes the
+// same sequence, and concurrent proposals for the same epoch resolve to one
+// winner.
+type Coordinator struct {
+	mu      sync.Mutex
+	current *Config
+	version atomic.Uint64 // == current.Epoch, readable without the lock
+	subs    []chan *Config
+}
+
+// NewCoordinator seeds the service with the initial configuration.
+func NewCoordinator(initial *Config) *Coordinator {
+	c := &Coordinator{current: initial.clone()}
+	c.version.Store(initial.Epoch)
+	return c
+}
+
+// Current returns the committed configuration (a private copy).
+func (c *Coordinator) Current() *Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current.clone()
+}
+
+// Epoch returns the committed epoch without copying.
+func (c *Coordinator) Epoch() uint64 { return c.version.Load() }
+
+// Propose attempts to commit next, which must have Epoch == current+1
+// (compare-and-swap on the configuration, the vertical-Paxos step). Returns
+// the now-committed configuration and whether this proposal won. Losing
+// proposals (a concurrent machine suspected the same failure first) get the
+// winner's configuration back.
+func (c *Coordinator) Propose(next *Config) (*Config, bool) {
+	c.mu.Lock()
+	if next.Epoch != c.current.Epoch+1 {
+		cur := c.current.clone()
+		c.mu.Unlock()
+		return cur, false
+	}
+	c.current = next.clone()
+	c.version.Store(next.Epoch)
+	subs := append([]chan *Config(nil), c.subs...)
+	cur := c.current.clone()
+	c.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- cur.clone():
+		default: // subscriber is slow; it will poll Current()
+		}
+	}
+	return cur, true
+}
+
+// Subscribe returns a channel receiving each newly committed configuration
+// (best effort; laggards must poll Current).
+func (c *Coordinator) Subscribe() <-chan *Config {
+	ch := make(chan *Config, 8)
+	c.mu.Lock()
+	c.subs = append(c.subs, ch)
+	c.mu.Unlock()
+	return ch
+}

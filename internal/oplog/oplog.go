@@ -1,0 +1,522 @@
+// Package oplog implements DrTM+R's replication logs (§5.1): per-peer ring
+// buffers in each machine's battery-backed NVRAM, appended to with one-sided
+// RDMA WRITEs by transaction coordinators (R.1 of the revised commit
+// protocol) and drained by auxiliary threads on the backup machine — the
+// paper reserves two cores per machine for exactly this log truncation work.
+//
+// Wire format. Every entry starts on a cacheline so the 16-byte header can
+// be published with a single line-atomic write *after* the payload: a reader
+// that sees a non-zero length word is guaranteed a complete entry, and a
+// coordinator that dies mid-append leaves a zero header behind — the entry
+// simply never happened, which is exactly the race the optimistic
+// replication scheme tolerates (the primary's record stays uncommittable).
+//
+//	entry  := hdr payload
+//	hdr    := len u32 | magic u16 | nRecs u16 | txnID u64        (16 B)
+//	payload:= rec*
+//	rec    := kind u8 | table u8 | shard u16 | valLen u32 | key u64 | seq u64 | value
+//
+// Records are applied idempotently and order-independently: an update is
+// installed only if its sequence number exceeds the backup record's current
+// one, so replays and cross-ring races are harmless.
+//
+// Two-phase append (FaRM-style commit records). A transaction's replication
+// step first writes the payload of its entry into EVERY relevant ring, then
+// publishes the headers. A published entry therefore implies the full write
+// set is durable in at least that ring, and the recovery protocol may REDO
+// the whole transaction from any single published entry; a coordinator that
+// dies before publishing anything leaves the transaction invisible
+// everywhere. To keep redo possible until the transaction has fully
+// committed (C.5/C.6 done), appliers APPLY published entries eagerly but
+// TRUNCATE only up to a watermark the coordinator advances — lazily, batched
+// — once its transactions are complete.
+package oplog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/memstore"
+	"drtmr/internal/rdma"
+	"drtmr/internal/sim"
+)
+
+// Entry kinds.
+const (
+	KindUpdate = 1
+	KindInsert = 2
+	KindDelete = 3
+)
+
+const (
+	hdrBytes = 16
+	recHdr   = 24
+	magic    = 0xD47B
+	// skipLen marks "rest of ring is padding, continue at wrap".
+	skipLen = ^uint32(0)
+)
+
+// Rec is one logged record mutation. Shard carries the record's partition so
+// an applier can decide whether the record belongs to a shard it replicates
+// (entries contain the transaction's full write set).
+type Rec struct {
+	Kind  uint8
+	Table memstore.TableID
+	Shard uint16
+	Key   uint64
+	Seq   uint64
+	Value []byte
+}
+
+// Encode serializes a batch of recs into a ring entry image (header
+// included), padded to whole cachelines.
+func Encode(txnID uint64, recs []Rec) []byte {
+	size := hdrBytes
+	for _, r := range recs {
+		size += recHdr + len(r.Value)
+		size = (size + 7) &^ 7
+	}
+	size = sim.AlignUp(size)
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(size))
+	binary.LittleEndian.PutUint16(buf[4:6], magic)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(recs)))
+	binary.LittleEndian.PutUint64(buf[8:16], txnID)
+	pos := hdrBytes
+	for _, r := range recs {
+		buf[pos] = r.Kind
+		buf[pos+1] = uint8(r.Table)
+		binary.LittleEndian.PutUint16(buf[pos+2:pos+4], r.Shard)
+		binary.LittleEndian.PutUint32(buf[pos+4:pos+8], uint32(len(r.Value)))
+		binary.LittleEndian.PutUint64(buf[pos+8:pos+16], r.Key)
+		binary.LittleEndian.PutUint64(buf[pos+16:pos+24], r.Seq)
+		copy(buf[pos+recHdr:], r.Value)
+		pos += recHdr + len(r.Value)
+		pos = (pos + 7) &^ 7
+	}
+	return buf
+}
+
+// Decode parses an entry image (without trusting anything beyond its
+// declared geometry; corrupt entries return an error).
+func Decode(buf []byte) (txnID uint64, recs []Rec, err error) {
+	if len(buf) < hdrBytes {
+		return 0, nil, errors.New("oplog: short entry")
+	}
+	if binary.LittleEndian.Uint16(buf[4:6]) != magic {
+		return 0, nil, errors.New("oplog: bad magic")
+	}
+	n := int(binary.LittleEndian.Uint16(buf[6:8]))
+	txnID = binary.LittleEndian.Uint64(buf[8:16])
+	pos := hdrBytes
+	for i := 0; i < n; i++ {
+		if pos+recHdr > len(buf) {
+			return 0, nil, errors.New("oplog: truncated record header")
+		}
+		r := Rec{
+			Kind:  buf[pos],
+			Table: memstore.TableID(buf[pos+1]),
+			Shard: binary.LittleEndian.Uint16(buf[pos+2 : pos+4]),
+			Key:   binary.LittleEndian.Uint64(buf[pos+8 : pos+16]),
+			Seq:   binary.LittleEndian.Uint64(buf[pos+16 : pos+24]),
+		}
+		vl := int(binary.LittleEndian.Uint32(buf[pos+4 : pos+8]))
+		if pos+recHdr+vl > len(buf) {
+			return 0, nil, errors.New("oplog: truncated value")
+		}
+		r.Value = append([]byte(nil), buf[pos+recHdr:pos+recHdr+vl]...)
+		recs = append(recs, r)
+		pos += recHdr + vl
+		pos = (pos + 7) &^ 7
+	}
+	return txnID, recs, nil
+}
+
+// Geometry fixes where a ring lives inside the target machine's memory:
+// Base..Base+Size is the buffer; the head pointer (a logical position
+// maintained by the target's applier, read remotely by writers when they run
+// out of space) lives at HeadOff; the truncation watermark (a logical
+// position written remotely by the ring's owner as its transactions fully
+// commit) lives at MarkOff.
+type Geometry struct {
+	Base    uint64
+	Size    uint64
+	HeadOff uint64
+	MarkOff uint64
+}
+
+// Writer is the source side of one ring: machine src appending to the log
+// region it owns inside machine dst. All of src's worker threads share it
+// (hence the mutex: on real hardware this would be a reliable-connected QP
+// per thread writing to reserved slots; serializing appends is the simple
+// faithful equivalent).
+type Writer struct {
+	geo Geometry
+
+	mu              sync.Mutex
+	tail            uint64 // logical position; authoritative (only we write this ring)
+	head            uint64 // cached remote head (refresh on pressure)
+	committed       uint64 // logical position below which txns are fully committed
+	pushedCommitted uint64 // last watermark value pushed to the remote side
+}
+
+// NewWriter creates the writer-side handle.
+func NewWriter(geo Geometry) *Writer {
+	return &Writer{geo: geo}
+}
+
+// Token identifies a reserved entry for the publish step.
+type Token struct {
+	pos uint64 // logical start
+	n   uint64
+}
+
+// End returns the logical position just past the entry (for MarkCommitted).
+func (tk Token) End() uint64 { return tk.pos + tk.n }
+
+// AppendPayload reserves space and writes everything EXCEPT the first
+// cacheline (which holds the header): the entry stays invisible. Blocks
+// while the ring is full.
+func (w *Writer) AppendPayload(qp *rdma.QP, entry []byte) (Token, error) {
+	if len(entry)%sim.CachelineSize != 0 {
+		return Token{}, fmt.Errorf("oplog: entry not cacheline padded (%d)", len(entry))
+	}
+	need := uint64(len(entry))
+	if need > w.geo.Size/2 {
+		return Token{}, fmt.Errorf("oplog: entry of %d bytes exceeds half the ring", need)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	// Wrap: if the entry doesn't fit before the physical end, mark the
+	// remainder as skip and continue at the next wrap boundary.
+	if off := w.tail % w.geo.Size; off+need > w.geo.Size {
+		var skip [8]byte
+		binary.LittleEndian.PutUint32(skip[0:4], skipLen)
+		if err := w.waitSpace(qp, w.geo.Size-off); err != nil {
+			return Token{}, err
+		}
+		if err := qp.Write(w.geo.Base+off, skip[:]); err != nil {
+			return Token{}, err
+		}
+		w.tail += w.geo.Size - off
+	}
+	if err := w.waitSpace(qp, need); err != nil {
+		return Token{}, err
+	}
+	tk := Token{pos: w.tail, n: need}
+	w.tail += need
+	if len(entry) > sim.CachelineSize {
+		off := w.geo.Base + tk.pos%w.geo.Size
+		// Posted write: replication fans payloads out to every ring
+		// and charges one base latency per phase at the txn layer.
+		if err := qp.PostWrite(off+sim.CachelineSize, entry[sim.CachelineSize:]); err != nil {
+			return Token{}, err
+		}
+	}
+	return tk, nil
+}
+
+// Publish writes the entry's first cacheline (containing the header): the
+// single line-atomic write that makes the entry visible to the applier.
+// Posted (no base latency): the caller charges one latency per publish
+// batch.
+func (w *Writer) Publish(qp *rdma.QP, tk Token, entry []byte) error {
+	off := w.geo.Base + tk.pos%w.geo.Size
+	return qp.PostWrite(off, entry[:sim.CachelineSize])
+}
+
+// Append is the one-shot payload+publish path for callers that do not need
+// the two-phase split (single-ring replication, tests). The entry is marked
+// committed immediately, so the applier may truncate it after applying.
+func (w *Writer) Append(qp *rdma.QP, entry []byte) error {
+	tk, err := w.AppendPayload(qp, entry)
+	if err != nil {
+		return err
+	}
+	if err := w.Publish(qp, tk, entry); err != nil {
+		return err
+	}
+	w.MarkCommitted(tk.End())
+	return w.PushWatermark(qp, true)
+}
+
+// MarkCommitted records that every entry below end belongs to a fully
+// committed transaction and may be truncated by the applier. The watermark
+// is pushed to the remote side lazily (PushWatermark) to amortize verbs.
+func (w *Writer) MarkCommitted(end uint64) {
+	w.mu.Lock()
+	if end > w.committed {
+		w.committed = end
+	}
+	w.mu.Unlock()
+}
+
+// PushWatermark writes the committed watermark to the remote ring if it
+// moved. force pushes even small advances (used on ring pressure and at
+// shutdown).
+func (w *Writer) PushWatermark(qp *rdma.QP, force bool) error {
+	w.mu.Lock()
+	c, p := w.committed, w.pushedCommitted
+	w.mu.Unlock()
+	if c == p {
+		return nil
+	}
+	if !force && c-p < w.geo.Size/8 {
+		return nil
+	}
+	if err := qp.Write64(w.geo.MarkOff, c); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if c > w.pushedCommitted {
+		w.pushedCommitted = c
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// waitSpace ensures need bytes fit between tail and head, refreshing the
+// cached head over RDMA while the ring is full. Ring pressure also forces
+// the watermark out, since the applier cannot truncate past it.
+func (w *Writer) waitSpace(qp *rdma.QP, need uint64) error {
+	for w.tail+need > w.head+w.geo.Size {
+		if c := w.committed; c > w.pushedCommitted {
+			if err := qp.Write64(w.geo.MarkOff, c); err != nil {
+				return err
+			}
+			w.pushedCommitted = c
+		}
+		h, err := qp.Read64(w.geo.HeadOff)
+		if err != nil {
+			return err
+		}
+		if h == w.head {
+			// Applier hasn't caught up; yield and retry.
+			sim.Spin(0)
+			continue
+		}
+		w.head = h
+	}
+	return nil
+}
+
+// Applier is the target side of one ring: the auxiliary thread state that
+// drains entries, applies them to the backup store, and truncates (zeroes
+// consumed space and advances the head) — but only up to the coordinator's
+// watermark, so that recovery can still redo from un-truncated entries.
+type Applier struct {
+	eng   *htm.Engine
+	store *memstore.Store
+	geo   Geometry
+	// replicates tells whether a shard currently belongs to this machine
+	// (as primary or backup); records of other shards inside an entry's
+	// full write set are skipped. nil means "replicate everything".
+	replicates func(shard uint16) bool
+
+	head    uint64 // truncation frontier (logical)
+	applied uint64 // apply frontier (logical), >= head
+
+	appliedEntries uint64
+}
+
+// NewApplier creates the applier for a ring hosted in eng's memory.
+func NewApplier(eng *htm.Engine, store *memstore.Store, geo Geometry, replicates func(shard uint16) bool) *Applier {
+	return &Applier{eng: eng, store: store, geo: geo, replicates: replicates}
+}
+
+// Applied returns the number of entries applied so far.
+func (a *Applier) Applied() uint64 { return a.appliedEntries }
+
+// Head returns the truncation frontier (for recovery accounting).
+func (a *Applier) Head() uint64 { return a.head }
+
+// Poll applies all newly published entries and truncates up to the
+// watermark. Returns how many entries were applied.
+func (a *Applier) Poll() (int, error) {
+	n := 0
+	// Apply phase: walk from the apply frontier. The frontier is bounded
+	// by head+Size: beyond that, physical positions wrap onto entries
+	// that have been applied but not yet zeroed, which must not be
+	// re-read as fresh.
+	for a.applied < a.head+a.geo.Size {
+		entry, adv, err := a.peek(a.applied)
+		if err != nil {
+			return n, err
+		}
+		if adv == 0 {
+			break
+		}
+		if entry != nil {
+			if err := a.apply(entry); err != nil {
+				return n, err
+			}
+			a.appliedEntries++
+			n++
+		}
+		a.applied += adv
+	}
+	a.truncate()
+	return n, nil
+}
+
+// truncate zeroes and releases ring space up to min(applied, watermark).
+func (a *Applier) truncate() {
+	mark := a.eng.Load64NonTx(a.geo.MarkOff)
+	limit := a.applied
+	if mark < limit {
+		limit = mark
+	}
+	for a.head < limit {
+		entry, adv, err := a.peek(a.head)
+		if err != nil || adv == 0 {
+			break
+		}
+		_ = entry
+		if a.head+adv > limit {
+			break // entry straddles the watermark; keep it
+		}
+		a.zero(a.head%a.geo.Size, adv)
+		a.head += adv
+	}
+	a.eng.Store64NonTx(a.geo.HeadOff, a.head)
+}
+
+// Scan walks every published, un-truncated entry (recovery redo source).
+func (a *Applier) Scan(fn func(txnID uint64, recs []Rec) error) error {
+	pos := a.head
+	for pos < a.head+a.geo.Size {
+		entry, adv, err := a.peek(pos)
+		if err != nil {
+			return err
+		}
+		if adv == 0 {
+			return nil
+		}
+		if entry != nil {
+			txnID, recs, err := Decode(entry)
+			if err != nil {
+				return err
+			}
+			if err := fn(txnID, recs); err != nil {
+				return err
+			}
+		}
+		pos += adv
+	}
+	return nil
+}
+
+// peek inspects the entry at logical position pos. Returns (nil, 0, nil)
+// when no published entry is there, (nil, skipBytes, nil) for a wrap marker.
+func (a *Applier) peek(pos uint64) (entry []byte, advance uint64, err error) {
+	off := a.geo.Base + pos%a.geo.Size
+	var hdr [8]byte
+	a.eng.ReadNonTx(off, 8, hdr[:])
+	l := binary.LittleEndian.Uint32(hdr[0:4])
+	switch {
+	case l == 0:
+		return nil, 0, nil
+	case l == skipLen:
+		return nil, a.geo.Size - pos%a.geo.Size, nil
+	}
+	if uint64(l) > a.geo.Size/2 || l%sim.CachelineSize != 0 {
+		return nil, 0, fmt.Errorf("oplog: corrupt length %d at pos %d", l, pos)
+	}
+	buf := a.eng.ReadNonTx(off, int(l), nil)
+	return buf, uint64(l), nil
+}
+
+func (a *Applier) zero(physOff, n uint64) {
+	if n == 0 {
+		return
+	}
+	zeros := make([]byte, n)
+	a.eng.WriteNonTx(a.geo.Base+physOff, zeros)
+}
+
+// apply installs one entry into the backup store inside an HTM transaction
+// (mutations on the backup machine are local, §4.3), honoring sequence
+// monotonicity for idempotence and skipping shards this machine does not
+// replicate.
+func (a *Applier) apply(entry []byte) error {
+	_, recs, err := Decode(entry)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if a.replicates != nil && !a.replicates(r.Shard) {
+			continue
+		}
+		if err := a.ApplyRec(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyRec installs one record mutation (exported: recovery forwards foreign
+// records to their new primaries, which install them through this path).
+func (a *Applier) ApplyRec(r Rec) error {
+	tbl := a.store.Table(r.Table)
+	if tbl == nil {
+		return fmt.Errorf("oplog: unknown table %d", r.Table)
+	}
+	switch r.Kind {
+	case KindDelete:
+		err := tbl.Delete(r.Key)
+		if err != nil && !errors.Is(err, memstore.ErrKeyNotFound) {
+			return err
+		}
+		return nil
+	case KindInsert, KindUpdate:
+		off, ok := tbl.Lookup(r.Key)
+		if !ok {
+			var err error
+			off, err = tbl.Insert(r.Key, r.Value)
+			if err != nil {
+				return err
+			}
+		}
+		return a.installValue(tbl, off, r)
+	default:
+		return fmt.Errorf("oplog: unknown kind %d", r.Kind)
+	}
+}
+
+// installValue writes value+seq into the record at off if r.Seq advances it.
+// Retries yield to the scheduler: requester-wins conflict resolution can
+// livelock two tight loops on an oversubscribed host otherwise.
+func (a *Applier) installValue(tbl *memstore.Table, off uint64, r Rec) error {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			sim.Spin(time.Duration(attempt%64) * 200 * time.Nanosecond)
+		}
+		tx := a.eng.Begin()
+		cur, err := tx.Load64(off + memstore.SeqOff)
+		if err != nil {
+			continue
+		}
+		if cur >= r.Seq {
+			tx.Commit()
+			return nil // already newer (replay / cross-ring race)
+		}
+		inc, err := tx.Load64(off + memstore.IncOff)
+		if err != nil {
+			continue
+		}
+		img := memstore.BuildRecordImage(tbl.Spec.ValueSize, r.Value, inc, r.Seq)
+		// Preserve the lock word (first 8 bytes): backup records are
+		// never locked, but recovery may be mid-promotion.
+		if err := tx.Write(off+8, img[8:]); err != nil {
+			continue
+		}
+		if tx.Commit() == nil {
+			return nil
+		}
+	}
+}

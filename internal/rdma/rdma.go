@@ -1,0 +1,378 @@
+// Package rdma simulates the one-sided RDMA verb layer of a ConnectX-3
+// InfiniBand fabric at the fidelity DrTM+R requires:
+//
+//   - One-sided READ / WRITE with per-cacheline (not per-message) atomicity
+//     against the target CPU — a multi-line WRITE lands line by line, which
+//     is exactly the torn-read hazard §4.3 defends against.
+//   - Atomic verbs (CAS, FETCH_AND_ADD) with IBV_ATOMIC_HCA-level atomicity:
+//     they serialize against other RDMA atomics at the target NIC but NOT
+//     against the target CPU's own atomic instructions (§4.4 C.1, §6.2).
+//   - Cache coherence with the target's HTM: every verb routes through the
+//     target machine's htm.Engine as a non-transactional access and
+//     therefore unconditionally aborts conflicting hardware transactions
+//     (strong consistency, §2.1).
+//   - Two-sided SEND/RECV messaging, used by DrTM+R only for inserts and
+//     deletes (§4.3) and by the Calvin baseline for everything.
+//   - A latency profile plus a per-NIC virtual-time bandwidth queue that
+//     model verb cost and the 56Gbps NIC saturation the replication
+//     experiments hinge on (Figs 11, 15, 16). All durations are charged to
+//     the issuing worker's virtual clock (see internal/sim vtime), not to
+//     wall-clock time.
+//
+// Failure injection: a NIC can be killed (fail-stop). Verbs against a dead
+// NIC return ErrNodeDead after a timeout; the machine's memory is preserved,
+// matching the paper's battery-backed NVRAM failure model.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/sim"
+)
+
+// NodeID identifies a machine in the cluster.
+type NodeID uint32
+
+// GAddr is a global address in the partitioned global address space: a
+// (machine, offset) pair.
+type GAddr struct {
+	Node NodeID
+	Off  uint64
+}
+
+func (a GAddr) String() string { return fmt.Sprintf("%d:%#x", a.Node, a.Off) }
+
+// ErrNodeDead is returned for verbs against a failed machine.
+var ErrNodeDead = errors.New("rdma: target node is dead")
+
+// ErrRecvTimeout is returned by Recv when no message arrives in time.
+var ErrRecvTimeout = errors.New("rdma: recv timeout")
+
+// LatencyProfile is the modelled cost of each verb, charged to the issuing
+// worker's virtual clock. The defaults are ConnectX-3-class numbers: an RDMA
+// verb costs ~10-20x a local cache access, an atomic verb is the most
+// expensive one-sided op (the paper measures RDMA CAS at two orders of
+// magnitude over a local CAS, §6.2), and two-sided messaging costs more than
+// one-sided verbs (the reason DrTM+R avoids messages in the commit path,
+// §4.4).
+type LatencyProfile struct {
+	Read  time.Duration // one-sided READ base latency
+	Write time.Duration // one-sided WRITE base latency
+	CAS   time.Duration // atomic verb latency
+	Send  time.Duration // two-sided message latency (verbs path)
+}
+
+// DefaultProfile is the RDMA-capable InfiniBand (ConnectX-3 class) profile.
+func DefaultProfile() LatencyProfile {
+	return LatencyProfile{
+		Read:  1500 * time.Nanosecond,
+		Write: 1000 * time.Nanosecond,
+		CAS:   2000 * time.Nanosecond,
+		Send:  5000 * time.Nanosecond,
+	}
+}
+
+// IPoIBProfile models IP-over-InfiniBand socket messaging (the transport the
+// paper runs Calvin on): no one-sided verbs, kernel-stack latencies.
+func IPoIBProfile() LatencyProfile {
+	return LatencyProfile{
+		Read:  40 * time.Microsecond, // emulated via request/response
+		Write: 40 * time.Microsecond,
+		CAS:   40 * time.Microsecond,
+		Send:  40 * time.Microsecond,
+	}
+}
+
+// Config configures the simulated fabric.
+type Config struct {
+	Profile LatencyProfile
+	// NICBytesPerSec caps each NIC's aggregate bandwidth in virtual time
+	// (0 = unlimited). 56Gbps full duplex is ~7e9 per direction; the
+	// simulated NIC uses a single queue for both directions, matching the
+	// paper's observation that one ConnectX-3 is the bottleneck.
+	NICBytesPerSec int64
+	// RecvQueueDepth is the per-NIC SEND/RECV queue depth.
+	RecvQueueDepth int
+}
+
+// NICBandwidth56G is the default NIC capacity (bytes/second of virtual time).
+const NICBandwidth56G = int64(7e9)
+
+// Message is one two-sided SEND payload.
+type Message struct {
+	From    NodeID
+	Payload []byte
+}
+
+// Network is the fabric connecting all NICs.
+type Network struct {
+	cfg  Config
+	nics []*NIC
+}
+
+// NewNetwork creates a fabric for n machines. Memory is attached per node
+// with Attach.
+func NewNetwork(n int, cfg Config) *Network {
+	if cfg.RecvQueueDepth <= 0 {
+		cfg.RecvQueueDepth = 4096
+	}
+	if cfg.Profile == (LatencyProfile{}) {
+		cfg.Profile = DefaultProfile()
+	}
+	net := &Network{cfg: cfg, nics: make([]*NIC, n)}
+	for i := range net.nics {
+		nic := &NIC{
+			net:   net,
+			node:  NodeID(i),
+			inbox: make(chan Message, cfg.RecvQueueDepth),
+		}
+		nic.alive.Store(true)
+		net.nics[i] = nic
+	}
+	return net
+}
+
+// Attach registers node's memory (its htm engine) with its NIC, making the
+// region remotely accessible.
+func (n *Network) Attach(node NodeID, eng *htm.Engine) {
+	n.nics[node].eng = eng
+}
+
+// NIC returns the NIC of node.
+func (n *Network) NIC(node NodeID) *NIC { return n.nics[node] }
+
+// Nodes returns the number of machines on the fabric.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Profile returns the active latency profile.
+func (n *Network) Profile() LatencyProfile { return n.cfg.Profile }
+
+// NIC is one machine's (simulated) RDMA-capable network card.
+type NIC struct {
+	net   *Network
+	node  NodeID
+	eng   *htm.Engine
+	wire  sim.Resource // virtual-time bandwidth queue
+	alive atomic.Bool
+
+	// atomicsMu serializes RDMA atomic verbs targeting this NIC: the
+	// IBV_ATOMIC_HCA atomicity level. Local CPU atomics do not take this
+	// mutex — mixing them with RDMA atomics on the same word is unsafe,
+	// exactly as on the paper's hardware.
+	atomicsMu sync.Mutex
+
+	inbox chan Message
+
+	stats NICStats
+}
+
+// NICStats counts verb traffic for the experiment reports.
+type NICStats struct {
+	Reads, Writes, Atomics, Sends atomic.Uint64
+	BytesOut, BytesIn             atomic.Uint64
+}
+
+// StatsSnapshot is a plain copy of the NIC counters.
+type StatsSnapshot struct {
+	Reads, Writes, Atomics, Sends uint64
+	BytesOut, BytesIn             uint64
+}
+
+// Snapshot copies the counters.
+func (nic *NIC) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:    nic.stats.Reads.Load(),
+		Writes:   nic.stats.Writes.Load(),
+		Atomics:  nic.stats.Atomics.Load(),
+		Sends:    nic.stats.Sends.Load(),
+		BytesOut: nic.stats.BytesOut.Load(),
+		BytesIn:  nic.stats.BytesIn.Load(),
+	}
+}
+
+// Node returns the NIC's machine ID.
+func (nic *NIC) Node() NodeID { return nic.node }
+
+// Alive reports whether the machine is serving.
+func (nic *NIC) Alive() bool { return nic.alive.Load() }
+
+// Kill fail-stops the machine: all verbs against it start failing. Memory
+// is preserved (battery-backed NVRAM).
+func (nic *NIC) Kill() { nic.alive.Store(false) }
+
+// Revive brings a killed machine back (used to model a replacement instance
+// taking over the NIC of a surviving machine).
+func (nic *NIC) Revive() { nic.alive.Store(true) }
+
+// charge advances the worker's virtual clock by the verb latency and queues
+// the wire bytes on both endpoint NICs' bandwidth resources. Saturation
+// shows up as NIC completion times running ahead of worker clocks.
+func charge(clk *sim.Clock, src, dst *NIC, base time.Duration, bytes int) {
+	clk.Advance(base)
+	wire := int64(bytes) + 64 // 64B of headers per verb
+	bw := src.net.cfg.NICBytesPerSec
+	if bw > 0 {
+		ser := time.Duration(wire * int64(time.Second) / bw)
+		end := src.wire.Use(clk.Now(), ser)
+		if dst != src {
+			end2 := dst.wire.Use(clk.Now(), ser)
+			if end2 > end {
+				end = end2
+			}
+		}
+		clk.AdvanceTo(end)
+	}
+	src.stats.BytesOut.Add(uint64(wire))
+	dst.stats.BytesIn.Add(uint64(wire))
+}
+
+// QP is a queue pair: the issuing endpoint for verbs from one node to
+// another (possibly itself: loopback QPs are how DrTM+R's fallback handler
+// locks local records, §6.2).
+type QP struct {
+	local  *NIC
+	remote *NIC
+	clk    *sim.Clock
+}
+
+// NewQP opens a queue pair from src to dst, charging verb costs to clk
+// (each simulated worker thread owns its QPs, as on real RDMA hardware).
+func (n *Network) NewQP(src, dst NodeID, clk *sim.Clock) *QP {
+	return &QP{local: n.nics[src], remote: n.nics[dst], clk: clk}
+}
+
+// Remote returns the target node of this QP.
+func (qp *QP) Remote() NodeID { return qp.remote.node }
+
+// Read performs a one-sided RDMA READ of n bytes at the remote offset,
+// atomic per cacheline. buf is reused if large enough.
+func (qp *QP) Read(off uint64, n int, buf []byte) ([]byte, error) {
+	if !qp.remote.alive.Load() {
+		return nil, ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Read, n)
+	qp.remote.stats.Reads.Add(1)
+	return qp.remote.eng.ReadNonTx(off, n, buf), nil
+}
+
+// Write performs a one-sided RDMA WRITE, atomic per cacheline: a write
+// spanning multiple lines lands line by line (§4.3, Fig 4).
+func (qp *QP) Write(off uint64, data []byte) error {
+	if !qp.remote.alive.Load() {
+		return ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Write, len(data))
+	qp.remote.stats.Writes.Add(1)
+	qp.remote.eng.WriteNonTx(off, data)
+	return nil
+}
+
+// Read64 reads one 8-byte word (must not straddle a cacheline).
+func (qp *QP) Read64(off uint64) (uint64, error) {
+	if !qp.remote.alive.Load() {
+		return 0, ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Read, 8)
+	qp.remote.stats.Reads.Add(1)
+	return qp.remote.eng.Load64NonTx(off), nil
+}
+
+// Write64 writes one 8-byte word.
+func (qp *QP) Write64(off uint64, v uint64) error {
+	if !qp.remote.alive.Load() {
+		return ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Write, 8)
+	qp.remote.stats.Writes.Add(1)
+	qp.remote.eng.Store64NonTx(off, v)
+	return nil
+}
+
+// CAS performs an RDMA compare-and-swap with IBV_ATOMIC_HCA atomicity: it
+// holds the target NIC's atomic lock, so it is atomic against other RDMA
+// atomics but not against local CPU atomics.
+func (qp *QP) CAS(off uint64, old, new uint64) (prev uint64, swapped bool, err error) {
+	if !qp.remote.alive.Load() {
+		return 0, false, ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.CAS, 8)
+	qp.remote.stats.Atomics.Add(1)
+	qp.remote.atomicsMu.Lock()
+	prev, swapped = qp.remote.eng.CAS64NonTx(off, old, new)
+	qp.remote.atomicsMu.Unlock()
+	return prev, swapped, nil
+}
+
+// FAA performs an RDMA fetch-and-add with the same atomicity as CAS.
+func (qp *QP) FAA(off uint64, delta uint64) (prev uint64, err error) {
+	if !qp.remote.alive.Load() {
+		return 0, ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.CAS, 8)
+	qp.remote.stats.Atomics.Add(1)
+	qp.remote.atomicsMu.Lock()
+	prev = qp.remote.eng.FAA64NonTx(off, delta)
+	qp.remote.atomicsMu.Unlock()
+	return prev, nil
+}
+
+// Send delivers a two-sided message into the remote NIC's receive queue.
+func (qp *QP) Send(payload []byte) error {
+	if !qp.remote.alive.Load() {
+		return ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Send, len(payload))
+	qp.remote.stats.Sends.Add(1)
+	msg := Message{From: qp.local.node, Payload: append([]byte(nil), payload...)}
+	select {
+	case qp.remote.inbox <- msg:
+		return nil
+	case <-time.After(time.Second):
+		return fmt.Errorf("rdma: send to node %d: recv queue full", qp.remote.node)
+	}
+}
+
+// Recv blocks for up to timeout waiting for a message on this node's
+// receive queue. A dead node's Recv fails immediately (its poller threads
+// are gone).
+func (nic *NIC) Recv(timeout time.Duration) (Message, error) {
+	if !nic.alive.Load() {
+		return Message{}, ErrNodeDead
+	}
+	select {
+	case m := <-nic.inbox:
+		return m, nil
+	case <-time.After(timeout):
+		return Message{}, ErrRecvTimeout
+	}
+}
+
+// TryRecv polls the receive queue without blocking.
+func (nic *NIC) TryRecv() (Message, bool) {
+	select {
+	case m := <-nic.inbox:
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+// PostWrite issues a one-sided WRITE without charging the verb's base
+// latency — only bandwidth/serialization. Callers that post a batch of
+// writes to different machines in one go (replication fan-out, doorbell
+// batching) issue the posts and then charge a single base latency for the
+// batch, which is how posted verbs behave on real hardware.
+func (qp *QP) PostWrite(off uint64, data []byte) error {
+	if !qp.remote.alive.Load() {
+		return ErrNodeDead
+	}
+	charge(qp.clk, qp.local, qp.remote, 0, len(data))
+	qp.remote.stats.Writes.Add(1)
+	qp.remote.eng.WriteNonTx(off, data)
+	return nil
+}

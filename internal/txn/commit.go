@@ -1,0 +1,627 @@
+package txn
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/memstore"
+	"drtmr/internal/oplog"
+	"drtmr/internal/rdma"
+)
+
+// htmRetries bounds commit-phase HTM attempts before the fallback handler
+// (§6.1). The paper reports the fallback firing on <1% of transactions.
+const htmRetries = 16
+
+// lockTarget is one remote record to lock in C.1 (deduplicated by address).
+type lockTarget struct {
+	node rdma.NodeID
+	off  uint64
+}
+
+// Commit runs the six-step commit phase (Fig 7) plus optimistic replication
+// (§5.1):
+//
+//	C.1 lock remote read+write sets with RDMA CAS
+//	C.2 validate remote read set (and fetch base seqs for remote writes)
+//	C.3 validate local read set   ┐ one HTM region
+//	C.4 update local write set    ┘ (fallback handler after retries)
+//	    apply inserts/deletes (local + shipped to hosts)
+//	R.1 write full-write-set log entries to every replica ring
+//	R.2 makeup: flip local records to committable (+1 → even)
+//	C.5 write back remote writes (committable seq) with RDMA WRITE
+//	C.6 unlock remote records with RDMA CAS
+func (tx *Txn) Commit() error {
+	if tx.readOnly || len(tx.ws) == 0 {
+		return tx.commitReadOnly()
+	}
+	w := tx.w
+
+	if err := tx.resolveWriteOffsets(); err != nil {
+		return err
+	}
+
+	// --- C.1: lock remote records (read and write sets both: §4.4
+	// explains why even reads are locked — local HTM protection doesn't
+	// start until C.3).
+	locks := tx.remoteLockSet()
+	if err := tx.lockRemote(locks); err != nil {
+		return err
+	}
+	unlock := func() { tx.unlockRemote(locks) }
+
+	// --- C.2: validate remote reads; fetch base seqs of remote writes.
+	if err := tx.validateRemote(); err != nil {
+		unlock()
+		return err
+	}
+
+	// --- C.3 + C.4: HTM region over local metadata.
+	if err := tx.localHTMCommit(); err != nil {
+		var te *Error
+		if errors.As(err, &te) && te.Reason == AbortHTM {
+			// Fallback handler (§6.1): locking protocol without HTM.
+			// It owns the rest of the pipeline, including unlock.
+			w.Stats.Fallbacks++
+			return tx.fallbackCommit(locks)
+		}
+		unlock()
+		return err
+	}
+
+	// The transaction is now locally committed; nothing below may abort
+	// it (only degrade around failed machines).
+
+	// Inserts and deletes: apply locally / ship to hosts (§4.3).
+	tx.applyInsertsDeletes()
+
+	// --- R.1: replication.
+	var toks []ringToken
+	if w.E.Replicated {
+		toks = tx.replicate()
+	}
+
+	// --- R.2: makeup — local records become committable.
+	if w.E.Replicated {
+		tx.makeupLocal()
+	}
+
+	// --- C.5: write back remote updates with their final seq.
+	tx.writeBackRemote()
+
+	// --- C.6: unlock.
+	unlock()
+
+	// Truncation watermark: these log entries' transactions are complete.
+	for _, tk := range toks {
+		w.E.M.LogWriter(tk.node).MarkCommitted(tk.tok.End())
+	}
+	return nil
+}
+
+// resolveWriteOffsets fills in offsets for remote blind writes and deletes
+// that were never read (lookups for local entries happen inside the HTM
+// region / apply step).
+func (tx *Txn) resolveWriteOffsets() error {
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.local || e.off != 0 || e.kind == wsInsert {
+			continue
+		}
+		if r := tx.findRS(e.table, e.key); r != nil {
+			e.off = r.off
+			continue
+		}
+		tbl := tx.w.E.M.Store.Table(e.table)
+		loc, err := tx.w.remoteLookup(tx.w.QP(e.node), tbl, e.key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) && e.kind == wsDelete {
+				continue // deleting a missing record is a no-op
+			}
+			return err
+		}
+		e.off = loc.off
+	}
+	return nil
+}
+
+// remoteLockSet collects unique remote record addresses from the read set
+// and the update/delete write set.
+func (tx *Txn) remoteLockSet() []lockTarget {
+	seen := make(map[lockTarget]struct{}, len(tx.rs)+len(tx.ws))
+	var out []lockTarget
+	add := func(node rdma.NodeID, off uint64) {
+		t := lockTarget{node: node, off: off}
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	for i := range tx.rs {
+		if !tx.rs[i].local {
+			add(tx.rs[i].node, tx.rs[i].off)
+		}
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if !e.local && e.kind != wsInsert && e.off != 0 {
+			add(e.node, e.off)
+		}
+	}
+	// Deterministic order keeps lock acquisition patterns comparable
+	// across retries (and shortens convoys under contention).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node != out[j].node {
+			return out[i].node < out[j].node
+		}
+		return out[i].off < out[j].off
+	})
+	return out
+}
+
+// lockRemote try-locks each target with RDMA CAS; any failure releases what
+// was taken and aborts (no waiting: deadlock-free).
+func (tx *Txn) lockRemote(locks []lockTarget) error {
+	w := tx.w
+	myWord := memstore.LockWord(uint32(w.E.M.ID))
+	for i, lt := range locks {
+		prev, ok, err := w.QP(lt.node).CAS(lt.off+memstore.LockOff, 0, myWord)
+		if err != nil {
+			tx.unlockRemote(locks[:i])
+			return tx.abort(AbortNodeDead, "lock: %v", err)
+		}
+		if !ok {
+			// Dangling lock from a failed machine? Release passively
+			// and retry once (§5.2).
+			w.maybeReleaseDangling(tx.cfg, lt.node, lt.off, prev)
+			prev2, ok2, err2 := w.QP(lt.node).CAS(lt.off+memstore.LockOff, 0, myWord)
+			if err2 != nil || !ok2 {
+				_ = prev2
+				tx.unlockRemote(locks[:i])
+				return tx.abort(AbortLockFailed, "record %d:%#x held by %#x", lt.node, lt.off, prev)
+			}
+		}
+	}
+	return nil
+}
+
+func (tx *Txn) unlockRemote(locks []lockTarget) {
+	w := tx.w
+	myWord := memstore.LockWord(uint32(w.E.M.ID))
+	for _, lt := range locks {
+		_, _, _ = w.QP(lt.node).CAS(lt.off+memstore.LockOff, myWord, 0)
+	}
+}
+
+// seqValidates applies Table 4's read-validation condition.
+func (tx *Txn) seqValidates(seen, cur uint64) bool {
+	if tx.w.E.Replicated {
+		return memstore.ClosestCommittable(seen) == cur
+	}
+	return seen == cur
+}
+
+// validateRemote is C.2: one RDMA READ of each remote read-set record's
+// header, plus base-seq fetch for blind remote writes.
+func (tx *Txn) validateRemote() error {
+	w := tx.w
+	var hdr [24]byte
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		if r.local {
+			continue
+		}
+		h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
+		if err != nil {
+			return tx.abort(AbortNodeDead, "validate: %v", err)
+		}
+		if memstore.RecInc(h) != r.inc {
+			return tx.abort(AbortValidate, "remote inc changed")
+		}
+		cur := memstore.RecSeq(h)
+		if !tx.seqValidates(r.seq, cur) {
+			return tx.abort(AbortValidate, "remote seq %d -> %d", r.seq, cur)
+		}
+		// Record the authoritative base for co-located writes.
+		if e := tx.findWS(r.table, r.key); e != nil && !e.local && e.kind == wsUpdate {
+			e.baseSeq = cur
+			e.finSeq = tx.finalSeq(cur)
+		}
+	}
+	// Blind remote writes: fetch current seq under the lock.
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.local || e.kind != wsUpdate || e.off == 0 {
+			continue
+		}
+		if tx.findRS(e.table, e.key) != nil {
+			continue // base set above
+		}
+		h, err := w.QP(e.node).Read(e.off, 24, hdr[:])
+		if err != nil {
+			return tx.abort(AbortNodeDead, "ws fetch: %v", err)
+		}
+		cur := memstore.RecSeq(h)
+		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
+			// Table 4 C.2 R_WS: cannot overwrite an unreplicated record.
+			return tx.abort(AbortValidate, "remote ws uncommittable")
+		}
+		e.baseSeq = cur
+		e.finSeq = tx.finalSeq(cur)
+	}
+	return nil
+}
+
+// localHTMCommit is C.3+C.4: one HTM region validating the local read set
+// and applying the local (update) write set with seq+1. Bounded retries;
+// validation failures abort the transaction, repeated hardware aborts
+// escalate to the fallback handler.
+func (tx *Txn) localHTMCommit() error {
+	w := tx.w
+	eng := w.E.M.Eng
+	nLocal := 0
+	for i := range tx.rs {
+		if tx.rs[i].local {
+			nLocal++
+		}
+	}
+	for i := range tx.ws {
+		if tx.ws[i].local && tx.ws[i].kind == wsUpdate {
+			nLocal++
+		}
+	}
+	if nLocal == 0 {
+		return nil
+	}
+	for attempt := 0; attempt < htmRetries; attempt++ {
+		w.Clk.Advance(w.E.Costs.HTMRegion + time.Duration(nLocal)*w.E.Costs.PerValidate)
+		htx := eng.Begin()
+		err := tx.localCommitBody(htx)
+		if err == nil {
+			if err = htx.Commit(); err == nil {
+				return nil
+			}
+		}
+		var ae *htm.AbortError
+		if errors.As(err, &ae) && ae.Cause == htm.CauseExplicit {
+			switch ae.Code {
+			case abortCodeValidate:
+				return tx.abort(AbortValidate, "local validation failed")
+			case abortCodeWSLocked:
+				return tx.abort(AbortLocked, "local ws record remotely locked")
+			}
+		}
+		w.backoff(attempt)
+	}
+	return tx.abort(AbortHTM, "commit HTM region exhausted retries")
+}
+
+// localCommitBody is the code inside the commit HTM region.
+func (tx *Txn) localCommitBody(htx *htm.Txn) error {
+	w := tx.w
+	// C.3: validate local reads.
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		if !r.local {
+			continue
+		}
+		inc, err := htx.Load64(r.off + memstore.IncOff)
+		if err != nil {
+			return err
+		}
+		cur, err := htx.Load64(r.off + memstore.SeqOff)
+		if err != nil {
+			return err
+		}
+		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
+			return htx.Abort(abortCodeValidate)
+		}
+	}
+	// C.4: apply local updates with seq+1 (odd under replication).
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if !e.local || e.kind != wsUpdate {
+			continue
+		}
+		if e.off == 0 {
+			tbl := w.E.M.Store.Table(e.table)
+			off, ok := tbl.Lookup(e.key)
+			if !ok {
+				return htx.Abort(abortCodeValidate)
+			}
+			e.off = off
+		}
+		lockW, err := htx.Load64(e.off + memstore.LockOff)
+		if err != nil {
+			return err
+		}
+		if lockW != 0 {
+			// A remote transaction locked this record before our
+			// region began (§4.4's extra check).
+			return htx.Abort(abortCodeWSLocked)
+		}
+		cur, err := htx.Load64(e.off + memstore.SeqOff)
+		if err != nil {
+			return err
+		}
+		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
+			return htx.Abort(abortCodeValidate)
+		}
+		inc, err := htx.Load64(e.off + memstore.IncOff)
+		if err != nil {
+			return err
+		}
+		e.baseSeq = cur
+		newSeq := cur + 1
+		e.finSeq = tx.finalSeq(cur)
+		tbl := w.E.M.Store.Table(e.table)
+		img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, newSeq)
+		if err := htx.Write(e.off+8, img[8:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finalSeq is the sequence number a record settles at once this update is
+// fully committed.
+func (tx *Txn) finalSeq(base uint64) uint64 {
+	if tx.w.E.Replicated {
+		return base + 2
+	}
+	return base + 1
+}
+
+// applyInsertsDeletes applies structural mutations after validation: local
+// ones directly, remote ones shipped to the host machine (§4.3). Under
+// replication, fresh inserts start uncommittable (seq=1) until R.2/C.5.
+func (tx *Txn) applyInsertsDeletes() {
+	w := tx.w
+	initialSeq := uint64(0)
+	if w.E.Replicated {
+		initialSeq = 1
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		switch e.kind {
+		case wsInsert:
+			e.baseSeq = 0
+			e.finSeq = tx.finalSeq(0)
+			if e.local {
+				tbl := w.E.M.Store.Table(e.table)
+				off, err := tbl.InsertWithSeq(e.key, e.buf, initialSeq)
+				if err == nil {
+					e.off = off
+				}
+			} else {
+				off, ok := w.rpcInsert(e.node, e.table, e.shard, e.key, e.buf, initialSeq)
+				if ok {
+					e.off = off
+				}
+			}
+		case wsDelete:
+			if e.local {
+				tbl := w.E.M.Store.Table(e.table)
+				_ = tbl.Delete(e.key)
+			} else {
+				w.rpcDelete(e.node, e.table, e.key)
+			}
+		}
+	}
+}
+
+// ringToken pairs a log append with its target for post-commit truncation.
+type ringToken struct {
+	node rdma.NodeID
+	tok  oplog.Token
+}
+
+// replicate is R.1: write one log entry carrying the FULL write set to every
+// replica ring — all backups of every written shard, plus the primaries of
+// remote written shards (so a coordinator death after publish can always be
+// redone; see the oplog package comment). Payloads land first, then headers
+// publish (two-phase).
+func (tx *Txn) replicate() []ringToken {
+	w := tx.w
+	recs := tx.logRecords()
+	if len(recs) == 0 {
+		return nil
+	}
+	entry := oplog.Encode(tx.id, recs)
+
+	// Target set from the FRESH configuration: if a backup died, its
+	// replacement placement is what matters now.
+	cfg := w.E.M.Config()
+	targets := make(map[rdma.NodeID]struct{})
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if int(e.shard) >= cfg.NumShards() {
+			continue
+		}
+		// Primaries of remote shards get the entry too (crash redo);
+		// the local primary copy was already updated in C.4. Backups
+		// always get it — including THIS machine when it happens to
+		// back up a remote shard (loop-back ring).
+		if p := cfg.PrimaryOf(e.shard); p != w.E.M.ID {
+			targets[p] = struct{}{}
+		}
+		for _, b := range cfg.BackupsOf(e.shard) {
+			targets[b] = struct{}{}
+		}
+	}
+	var toks []ringToken
+	for node := range targets {
+		wr := w.E.M.LogWriter(node)
+		tk, err := wr.AppendPayload(w.QP(node), entry)
+		if err != nil {
+			continue // dead target: its replacement is covered post-reconfig
+		}
+		toks = append(toks, ringToken{node: node, tok: tk})
+	}
+	// The payload posts above and the header publishes below each count as
+	// one posted batch: one base write latency per phase.
+	prof := w.E.M.Cluster().Net.Profile()
+	w.Clk.Advance(prof.Write)
+	for _, tk := range toks {
+		_ = w.E.M.LogWriter(tk.node).Publish(w.QP(tk.node), tk.tok, entry)
+	}
+	w.Clk.Advance(prof.Write)
+	return toks
+}
+
+// logRecords builds the full-write-set log payload with final sequence
+// numbers (Table 4: backups install SN_new+2 directly).
+func (tx *Txn) logRecords() []oplog.Rec {
+	var recs []oplog.Rec
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		var kind uint8
+		switch e.kind {
+		case wsUpdate:
+			kind = oplog.KindUpdate
+		case wsInsert:
+			kind = oplog.KindInsert
+		case wsDelete:
+			kind = oplog.KindDelete
+		}
+		recs = append(recs, oplog.Rec{
+			Kind:  kind,
+			Table: e.table,
+			Shard: uint16(e.shard),
+			Key:   e.key,
+			Seq:   e.finSeq,
+			Value: e.buf,
+		})
+	}
+	return recs
+}
+
+// makeupLocal is R.2: flip local updates (and fresh local inserts) from odd
+// to even — committable — re-stamping the per-line versions. Each record is
+// flipped in its own small HTM region for atomicity against local readers.
+func (tx *Txn) makeupLocal() {
+	w := tx.w
+	eng := w.E.M.Eng
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if !e.local || e.kind == wsDelete || e.off == 0 {
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				w.backoff(attempt)
+			}
+			htx := eng.Begin()
+			cur, err := htx.Load64(e.off + memstore.SeqOff)
+			if err != nil {
+				continue
+			}
+			if cur >= e.finSeq {
+				htx.Commit() // already advanced (log applier raced us)
+				break
+			}
+			if err := htx.Store64(e.off+memstore.SeqOff, e.finSeq); err != nil {
+				continue
+			}
+			if err := tx.stampVersions(htx, e.off, e.table, e.finSeq); err != nil {
+				continue
+			}
+			if htx.Commit() == nil {
+				break
+			}
+		}
+	}
+}
+
+// stampVersions writes low16(seq) into each per-line version slot of the
+// record at off, inside the given HTM transaction.
+func (tx *Txn) stampVersions(htx *htm.Txn, off uint64, table memstore.TableID, seq uint64) error {
+	tbl := tx.w.E.M.Store.Table(table)
+	v := uint16(seq & 0xFFFF)
+	var b [2]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	for line := 1; line < tbl.RecLines; line++ {
+		if err := htx.Write(off+uint64(line*64), b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBackRemote is C.5: RDMA WRITE each remote update's new image (final
+// committable seq, versions stamped), skipping the lock word, plus the
+// seq-flip of remote inserts.
+func (tx *Txn) writeBackRemote() {
+	w := tx.w
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.local || e.off == 0 {
+			continue
+		}
+		switch e.kind {
+		case wsUpdate:
+			if e.finSeq == 0 {
+				e.finSeq = tx.finalSeq(e.baseSeq)
+			}
+			tbl := w.E.M.Store.Table(e.table)
+			// Incarnation is preserved: fetch is unnecessary, the value
+			// was validated in C.2, so rebuild with the read inc if we
+			// have one; otherwise read the header once.
+			inc := tx.incFor(e)
+			img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, e.finSeq)
+			_ = w.QP(e.node).Write(e.off+8, img[8:])
+		case wsInsert:
+			if !w.E.Replicated {
+				continue
+			}
+			tbl := w.E.M.Store.Table(e.table)
+			img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, 0, e.finSeq)
+			// Write seq + data + versions; inc is unknown here (the
+			// host assigned it), so skip the first 24 header bytes and
+			// write the seq word separately.
+			_ = w.QP(e.node).Write64(e.off+memstore.SeqOff, e.finSeq)
+			_ = w.QP(e.node).Write(e.off+24, img[24:])
+		}
+	}
+}
+
+// incFor returns the incarnation to preserve in a remote write-back.
+func (tx *Txn) incFor(e *wsEntry) uint64 {
+	if r := tx.findRS(e.table, e.key); r != nil {
+		return r.inc
+	}
+	var hdr [24]byte
+	h, err := tx.w.QP(e.node).Read(e.off, 24, hdr[:])
+	if err != nil {
+		return 0
+	}
+	return memstore.RecInc(h)
+}
+
+// commitReadOnly validates sequence numbers only (§4.5): no HTM, no locks.
+func (tx *Txn) commitReadOnly() error {
+	w := tx.w
+	var hdr [24]byte
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		var inc, cur uint64
+		if r.local {
+			h := w.E.M.Eng.ReadNonTx(r.off, 24, hdr[:])
+			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+			w.Clk.Advance(w.E.Costs.PerValidate)
+		} else {
+			h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
+			if err != nil {
+				return tx.abort(AbortNodeDead, "ro validate: %v", err)
+			}
+			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+		}
+		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
+			return tx.abort(AbortValidate, "ro: record changed")
+		}
+	}
+	return nil
+}

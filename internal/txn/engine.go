@@ -1,0 +1,332 @@
+// Package txn is DrTM+R's transaction layer — the paper's primary
+// contribution (§3-§5): a hybrid concurrency control protocol that runs
+// strictly serializable distributed transactions by combining
+//
+//   - an HTM-protected OCC protocol for local records (from DBX): execution
+//     is separated from commit, and only the validation+update window runs
+//     inside a hardware transaction, keeping the HTM working set small;
+//   - RDMA-based versioned reads and CAS locking for remote records (from
+//     FaRM/DrTM), glued to the local protocol by the strong consistency of
+//     one-sided RDMA (a conflicting RDMA access aborts the HTM region);
+//   - an optimistic replication scheme (§5.1) that decouples local commit
+//     (HTM XEND) from full commit (replication durable): a locally updated
+//     record carries an odd "uncommittable" sequence number until its log
+//     entries are durable on the backups, and other transactions may read
+//     such records but cannot commit against them.
+//
+// Unlike DrTM's HTM+2PL, nothing here needs the transaction's read/write set
+// in advance: the sets are simply what the execution phase touched.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drtmr/internal/cluster"
+	"drtmr/internal/memstore"
+	"drtmr/internal/rdma"
+	"drtmr/internal/sim"
+)
+
+// Partitioner maps a record to its shard. Workloads define it (TPC-C
+// partitions by warehouse, SmallBank by account range).
+type Partitioner func(table memstore.TableID, key uint64) cluster.ShardID
+
+// Abort reasons (for stats and retry policy).
+type AbortReason uint8
+
+const (
+	AbortNone AbortReason = iota
+	// AbortLockFailed: C.1 could not lock a remote record.
+	AbortLockFailed
+	// AbortValidate: read validation failed (C.2, C.3, or read-only).
+	AbortValidate
+	// AbortHTM: the commit-phase HTM region kept aborting and the bounded
+	// retries ran out before the fallback handler succeeded.
+	AbortHTM
+	// AbortLocked: execution phase found a record locked for too long.
+	AbortLocked
+	// AbortNodeDead: a verb hit a dead machine (epoch change pending).
+	AbortNodeDead
+	// AbortStale: a cached location or incarnation went stale repeatedly.
+	AbortStale
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortLockFailed:
+		return "lock-failed"
+	case AbortValidate:
+		return "validate"
+	case AbortHTM:
+		return "htm"
+	case AbortLocked:
+		return "locked"
+	case AbortNodeDead:
+		return "node-dead"
+	case AbortStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", uint8(r))
+	}
+}
+
+// Error is a transaction abort. Transactions signalling Error from Run are
+// retried according to the reason.
+type Error struct {
+	Reason AbortReason
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return "txn: abort (" + e.Reason.String() + ")"
+	}
+	return "txn: abort (" + e.Reason.String() + "): " + e.Detail
+}
+
+// ErrNotFound is returned by Read for missing keys (a user-level outcome,
+// not an abort).
+var ErrNotFound = errors.New("txn: key not found")
+
+// CostModel is the virtual-time price list for CPU-side work. RDMA verb
+// costs live in the rdma package; these cover the local protocol steps.
+// Defaults are Xeon-class magnitudes; they set the absolute throughput
+// scale, while the protocol determines every relative effect the paper
+// reports.
+type CostModel struct {
+	TxnOverhead time.Duration // per-transaction begin/dispatch cost
+	LocalAccess time.Duration // one record read/write through HTM
+	HTMRegion   time.Duration // commit-phase XBEGIN..XEND fixed cost
+	PerValidate time.Duration // per record validated/updated in HTM
+	Backoff     time.Duration // base retry backoff
+}
+
+// DefaultCosts matches the paper's per-machine throughput magnitude.
+func DefaultCosts() CostModel {
+	return CostModel{
+		TxnOverhead: 2 * time.Microsecond,
+		LocalAccess: 250 * time.Nanosecond,
+		HTMRegion:   400 * time.Nanosecond,
+		PerValidate: 120 * time.Nanosecond,
+		Backoff:     700 * time.Nanosecond,
+	}
+}
+
+// Engine is the per-machine transaction layer instance.
+type Engine struct {
+	M     *cluster.Machine
+	Part  Partitioner
+	Costs CostModel
+	// Replicated enables the optimistic replication scheme (Replicas>1).
+	Replicated bool
+	Replicas   int
+	// DisableLocCache turns off the location cache (§6.3) — ablation knob:
+	// every remote access walks the remote hash index with RDMA READs.
+	DisableLocCache bool
+
+	locCache *locCache
+}
+
+// NewEngine builds the transaction layer for machine m. It registers the
+// insert/delete RPC handlers (§4.3: inserts and deletes ship to the host
+// machine over SEND/RECV).
+func NewEngine(m *cluster.Machine, part Partitioner, costs CostModel) *Engine {
+	e := &Engine{
+		M:          m,
+		Part:       part,
+		Costs:      costs,
+		Replicas:   m.Cluster().Spec.Replicas,
+		Replicated: m.Cluster().Spec.Replicas > 1,
+		locCache:   newLocCache(),
+	}
+	e.registerRPC()
+	return e
+}
+
+// Worker is one worker thread: it owns a virtual clock, QPs to every peer,
+// and transaction statistics. Workers are not safe for concurrent use.
+type Worker struct {
+	E   *Engine
+	ID  int
+	Clk sim.Clock
+	rng *sim.Rand
+
+	qps     []*rdma.QP
+	nextTxn uint64
+
+	Stats Stats
+}
+
+// Stats counts per-worker outcomes.
+type Stats struct {
+	Committed uint64
+	Aborts    [8]uint64 // indexed by AbortReason
+	Fallbacks uint64
+	Retries   uint64
+}
+
+// AbortsTotal sums all abort reasons.
+func (s *Stats) AbortsTotal() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t
+}
+
+// NewWorker creates worker id on this engine.
+func (e *Engine) NewWorker(id int) *Worker {
+	w := &Worker{E: e, ID: id, rng: sim.NewRand(uint64(id)*0x9E37 + uint64(e.M.ID) + 1)}
+	n := e.M.Cluster().Spec.Nodes
+	w.qps = make([]*rdma.QP, n)
+	for i := 0; i < n; i++ {
+		w.qps[i] = e.M.Cluster().Net.NewQP(e.M.ID, rdma.NodeID(i), &w.Clk)
+	}
+	return w
+}
+
+// QP returns the worker's queue pair to node.
+func (w *Worker) QP(node rdma.NodeID) *rdma.QP { return w.qps[node] }
+
+func (w *Worker) backoff(attempt int) {
+	max := 1 << uint(min(attempt, 8))
+	d := time.Duration(1+w.rng.Intn(max)) * w.E.Costs.Backoff
+	w.Clk.Advance(d)
+	sim.Spin(0) // scheduling point so contenders interleave
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Run executes fn as a transaction with automatic retry on aborts. fn may be
+// re-executed; it must be idempotent up to its writes (standard OCC
+// contract). Returns the first non-abort error, or nil once committed.
+func (w *Worker) Run(fn func(tx *Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := w.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.abandon()
+		}
+		if err == nil {
+			w.Stats.Committed++
+			return nil
+		}
+		var te *Error
+		if !errors.As(err, &te) {
+			return err // user error: not retried
+		}
+		w.Stats.Aborts[te.Reason]++
+		w.Stats.Retries++
+		if te.Reason == AbortNodeDead {
+			// Wait for the configuration to change before retrying.
+			w.waitEpochChange()
+		}
+		w.backoff(attempt)
+	}
+}
+
+// RunReadOnly is Run for read-only transactions (§4.5's separate protocol).
+func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := w.BeginReadOnly()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.abandon()
+		}
+		if err == nil {
+			w.Stats.Committed++
+			return nil
+		}
+		var te *Error
+		if !errors.As(err, &te) {
+			return err
+		}
+		w.Stats.Aborts[te.Reason]++
+		w.Stats.Retries++
+		if te.Reason == AbortNodeDead {
+			w.waitEpochChange()
+		}
+		w.backoff(attempt)
+	}
+}
+
+func (w *Worker) waitEpochChange() {
+	cur := w.E.M.Config().Epoch
+	for i := 0; i < 1000; i++ {
+		if w.E.M.Config().Epoch > cur || w.E.M.Dead() {
+			return
+		}
+		sim.Spin(500 * time.Microsecond)
+	}
+}
+
+// locCache is the RDMA-friendly location cache (§6.3): it maps remote keys
+// to (record offset, incarnation) so repeated accesses skip the bucket walk.
+type locCache struct {
+	shards [64]locShard
+}
+
+type locShard struct {
+	mu sync.Mutex
+	m  map[locKey]locVal
+}
+
+type locKey struct {
+	node  rdma.NodeID
+	table memstore.TableID
+	key   uint64
+}
+
+type locVal struct {
+	off uint64
+	inc uint64
+}
+
+func newLocCache() *locCache {
+	c := &locCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[locKey]locVal)
+	}
+	return c
+}
+
+func (c *locCache) shardFor(k locKey) *locShard {
+	h := k.key*31 + uint64(k.table)*7 + uint64(k.node)
+	return &c.shards[h&63]
+}
+
+func (c *locCache) get(k locKey) (locVal, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (c *locCache) put(k locKey, v locVal) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+func (c *locCache) drop(k locKey) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	delete(s.m, k)
+	s.mu.Unlock()
+}

@@ -1,0 +1,224 @@
+package txn
+
+import (
+	"sort"
+
+	"drtmr/internal/memstore"
+	"drtmr/internal/rdma"
+)
+
+// Fallback handler (§6.1). RTM is best-effort: the commit-phase HTM region
+// may keep aborting even without real conflicts, so after bounded retries
+// the transaction commits through a pure locking protocol instead. Because
+// local records are also remotely accessible, the handler cannot just take
+// a process-wide mutex like single-machine HTM databases do — it must lock
+// and validate local records exactly like remote ones. To avoid deadlock it
+// first releases every remote lock it owns, then acquires locks for ALL
+// records (local and remote) in globally sorted order.
+//
+// Locks on local records are acquired with loop-back RDMA CAS (§6.2): the
+// NIC provides only HCA-level atomicity, so mixing CPU CAS with RDMA CAS on
+// the same word would be unsound; going through the NIC for local locks too
+// — even though it is two orders of magnitude slower than a local CAS — is
+// the paper's explicit design choice, affordable because the fallback runs
+// on <1% of transactions.
+
+// fbTarget is one record the fallback handler locks.
+type fbTarget struct {
+	node rdma.NodeID
+	off  uint64
+}
+
+// fallbackCommit re-runs the commit under full locking and, on success,
+// carries the transaction through replication, write-back and unlock.
+// Preconditions: remote locks from C.1 are held (and are released here
+// first); the HTM region has NOT applied any local update.
+func (tx *Txn) fallbackCommit(remoteLocks []lockTarget) error {
+	w := tx.w
+	// Step 1: release owned remote locks.
+	tx.unlockRemote(remoteLocks)
+
+	// Step 2: collect every record (local + remote) in sorted order.
+	seen := make(map[fbTarget]struct{})
+	var targets []fbTarget
+	add := func(node rdma.NodeID, off uint64) {
+		t := fbTarget{node: node, off: off}
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			targets = append(targets, t)
+		}
+	}
+	self := w.E.M.ID
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		if r.local {
+			add(self, r.off)
+		} else {
+			add(r.node, r.off)
+		}
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.kind == wsInsert {
+			continue
+		}
+		if e.local && e.off == 0 {
+			tbl := w.E.M.Store.Table(e.table)
+			off, ok := tbl.Lookup(e.key)
+			if !ok {
+				if e.kind == wsDelete {
+					continue
+				}
+				return tx.abort(AbortValidate, "fallback: local record vanished")
+			}
+			e.off = off
+		}
+		if e.off == 0 {
+			continue
+		}
+		if e.local {
+			add(self, e.off)
+		} else {
+			add(e.node, e.off)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].node != targets[j].node {
+			return targets[i].node < targets[j].node
+		}
+		return targets[i].off < targets[j].off
+	})
+
+	// Step 3: lock everything (loop-back RDMA CAS for local records).
+	myWord := memstore.LockWord(uint32(self))
+	locked := 0
+	lockFail := false
+	for _, t := range targets {
+		acquired := false
+		for attempt := 0; attempt < 32; attempt++ {
+			prev, ok, err := w.QP(t.node).CAS(t.off+memstore.LockOff, 0, myWord)
+			if err != nil {
+				lockFail = true
+				break
+			}
+			if ok {
+				acquired = true
+				break
+			}
+			w.maybeReleaseDangling(tx.cfg, t.node, t.off, prev)
+			w.backoff(attempt)
+		}
+		if !acquired {
+			lockFail = true
+			break
+		}
+		locked++
+	}
+	unlockAll := func(n int) {
+		for _, t := range targets[:n] {
+			_, _, _ = w.QP(t.node).CAS(t.off+memstore.LockOff, myWord, 0)
+		}
+	}
+	if lockFail {
+		unlockAll(locked)
+		return tx.abort(AbortLockFailed, "fallback lock failed")
+	}
+
+	// Step 4: validate the whole read set under locks.
+	if err := tx.fallbackValidate(); err != nil {
+		unlockAll(locked)
+		return err
+	}
+
+	// Step 5: apply local updates without HTM — safe because the records
+	// are locked (local execution-phase readers check the lock and back
+	// off; local committers' C.4 checks the lock and aborts; remote
+	// committers cannot take the lock; and strong atomicity aborts any
+	// in-flight HTM reader we race with).
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if !e.local || e.kind != wsUpdate || e.off == 0 {
+			continue
+		}
+		newSeq := e.baseSeq + 1
+		e.finSeq = tx.finalSeq(e.baseSeq)
+		tbl := w.E.M.Store.Table(e.table)
+		inc := tx.localInc(e.off)
+		img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, newSeq)
+		w.E.M.Eng.WriteNonTx(e.off+8, img[8:])
+	}
+
+	// Step 6: the common tail — inserts/deletes, replication, makeup,
+	// remote write-back — then release every lock.
+	tx.applyInsertsDeletes()
+	var toks []ringToken
+	if w.E.Replicated {
+		toks = tx.replicate()
+		tx.makeupLocal()
+	}
+	tx.writeBackRemote()
+	unlockAll(locked)
+	for _, tk := range toks {
+		w.E.M.LogWriter(tk.node).MarkCommitted(tk.tok.End())
+	}
+	return nil
+}
+
+// fallbackValidate checks every read-set record and fetches write bases,
+// all under locks.
+func (tx *Txn) fallbackValidate() error {
+	w := tx.w
+	var hdr [24]byte
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		var inc, cur uint64
+		if r.local {
+			h := w.E.M.Eng.ReadNonTx(r.off, 24, hdr[:])
+			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+		} else {
+			h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
+			if err != nil {
+				return tx.abort(AbortNodeDead, "fallback validate: %v", err)
+			}
+			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+		}
+		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
+			return tx.abort(AbortValidate, "fallback: record changed")
+		}
+		if e := tx.findWS(r.table, r.key); e != nil && e.kind == wsUpdate {
+			e.baseSeq = cur
+			e.finSeq = tx.finalSeq(cur)
+		}
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.kind != wsUpdate || e.off == 0 {
+			continue
+		}
+		if tx.findRS(e.table, e.key) != nil {
+			continue
+		}
+		var cur uint64
+		if e.local {
+			h := w.E.M.Eng.ReadNonTx(e.off, 24, hdr[:])
+			cur = memstore.RecSeq(h)
+		} else {
+			h, err := w.QP(e.node).Read(e.off, 24, hdr[:])
+			if err != nil {
+				return tx.abort(AbortNodeDead, "fallback ws fetch: %v", err)
+			}
+			cur = memstore.RecSeq(h)
+		}
+		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
+			return tx.abort(AbortValidate, "fallback: ws uncommittable")
+		}
+		e.baseSeq = cur
+		e.finSeq = tx.finalSeq(cur)
+	}
+	return nil
+}
+
+// localInc reads a local record's incarnation non-transactionally.
+func (tx *Txn) localInc(off uint64) uint64 {
+	return tx.w.E.M.Eng.Load64NonTx(off + memstore.IncOff)
+}

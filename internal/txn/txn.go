@@ -1,0 +1,395 @@
+package txn
+
+import (
+	"bytes"
+	"fmt"
+
+	"drtmr/internal/cluster"
+	"drtmr/internal/memstore"
+	"drtmr/internal/rdma"
+)
+
+// XABORT codes used by the protocol.
+const (
+	// abortCodeLocked: execution-phase local read found the record locked
+	// by a (remote) transaction — retry after backoff (§4.3).
+	abortCodeLocked = 0x11
+	// abortCodeWSLocked: commit-phase HTM region found a local write-set
+	// record locked by a remote transaction (§4.4 C.4's extra check).
+	abortCodeWSLocked = 0x12
+	// abortCodeValidate: commit-phase validation failed inside HTM.
+	abortCodeValidate = 0x13
+)
+
+// wsKind distinguishes write-set entries.
+type wsKind uint8
+
+const (
+	wsUpdate wsKind = iota
+	wsInsert
+	wsDelete
+)
+
+// rsEntry is one read-set record: where it was, and the version observed.
+type rsEntry struct {
+	table memstore.TableID
+	key   uint64
+	shard cluster.ShardID
+	node  rdma.NodeID
+	off   uint64
+	seq   uint64
+	inc   uint64
+	local bool
+	val   []byte // cached for repeated reads
+}
+
+// wsEntry is one write-set record with its buffered new value (§4.3: all
+// writes go to a local private buffer during execution).
+type wsEntry struct {
+	kind  wsKind
+	table memstore.TableID
+	key   uint64
+	shard cluster.ShardID
+	node  rdma.NodeID
+	off   uint64 // 0 until resolved (inserts: after RPC/apply)
+	local bool
+	buf   []byte
+	// baseSeq is the record's sequence number observed when locking /
+	// inside the commit HTM region; newSeq = baseSeq + 1 (+1 again after
+	// replication).
+	baseSeq uint64
+	finSeq  uint64
+}
+
+// Txn is one user transaction. It is created by Worker.Begin /
+// BeginReadOnly and driven by user code during the execution phase; Commit
+// runs the hybrid commit protocol.
+type Txn struct {
+	w        *Worker
+	id       uint64
+	cfg      *cluster.Config
+	readOnly bool
+
+	rs []rsEntry
+	ws []wsEntry
+}
+
+// Begin starts a read-write transaction. The configuration is snapshotted
+// so that every locality decision inside the transaction is consistent; an
+// epoch change surfaces as dead-node aborts and a retry picks up the new
+// configuration.
+func (w *Worker) Begin() *Txn {
+	w.nextTxn++
+	w.Clk.Advance(w.E.Costs.TxnOverhead)
+	return &Txn{
+		w:   w,
+		id:  uint64(w.E.M.ID)<<56 | uint64(w.ID)<<40 | w.nextTxn,
+		cfg: w.E.M.Config(),
+	}
+}
+
+// BeginReadOnly starts a read-only transaction (§4.5's protocol: no HTM and
+// no locking in the commit phase, but remote reads check the lock).
+func (w *Worker) BeginReadOnly() *Txn {
+	tx := w.Begin()
+	tx.readOnly = true
+	return tx
+}
+
+// abandon discards the transaction (nothing to undo: writes are buffered).
+func (tx *Txn) abandon() {}
+
+func (tx *Txn) abort(r AbortReason, format string, args ...any) error {
+	return &Error{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}
+
+// homeOf resolves a record's placement under this transaction's
+// configuration snapshot.
+func (tx *Txn) homeOf(table memstore.TableID, key uint64) (cluster.ShardID, rdma.NodeID, bool) {
+	shard := tx.w.E.Part(table, key)
+	node := tx.cfg.PrimaryOf(shard)
+	return shard, node, node == tx.w.E.M.ID
+}
+
+func (tx *Txn) findWS(table memstore.TableID, key uint64) *wsEntry {
+	for i := range tx.ws {
+		if tx.ws[i].table == table && tx.ws[i].key == key {
+			return &tx.ws[i]
+		}
+	}
+	return nil
+}
+
+func (tx *Txn) findRS(table memstore.TableID, key uint64) *rsEntry {
+	for i := range tx.rs {
+		if tx.rs[i].table == table && tx.rs[i].key == key {
+			return &tx.rs[i]
+		}
+	}
+	return nil
+}
+
+// Read returns the record's value, tracking it in the read set. Missing
+// keys return ErrNotFound. Reads see the transaction's own buffered writes.
+func (tx *Txn) Read(table memstore.TableID, key uint64) ([]byte, error) {
+	if w := tx.findWS(table, key); w != nil {
+		switch w.kind {
+		case wsDelete:
+			return nil, ErrNotFound
+		default:
+			return append([]byte(nil), w.buf...), nil
+		}
+	}
+	if r := tx.findRS(table, key); r != nil {
+		return append([]byte(nil), r.val...), nil
+	}
+	shard, node, local := tx.homeOf(table, key)
+	var (
+		e   rsEntry
+		err error
+	)
+	if local {
+		e, err = tx.localRead(table, key)
+	} else {
+		e, err = tx.remoteRead(node, table, key, tx.readOnly)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.shard, e.node = shard, node
+	tx.rs = append(tx.rs, e)
+	return append([]byte(nil), e.val...), nil
+}
+
+// Write buffers a new value for the record (update). The record need not
+// have been read first (blind writes are allowed; the commit phase fetches
+// the base sequence number itself).
+func (tx *Txn) Write(table memstore.TableID, key uint64, value []byte) error {
+	if tx.readOnly {
+		return fmt.Errorf("txn: write in read-only transaction")
+	}
+	if w := tx.findWS(table, key); w != nil {
+		if w.kind == wsDelete {
+			return fmt.Errorf("txn: write after delete of key %d", key)
+		}
+		w.buf = append(w.buf[:0], value...)
+		return nil
+	}
+	shard, node, local := tx.homeOf(table, key)
+	e := wsEntry{
+		kind: wsUpdate, table: table, key: key,
+		shard: shard, node: node, local: local,
+		buf: append([]byte(nil), value...),
+	}
+	if r := tx.findRS(table, key); r != nil {
+		e.off = r.off
+	}
+	tx.ws = append(tx.ws, e)
+	return nil
+}
+
+// Insert creates a new record. Local inserts apply at commit inside the
+// host; remote inserts ship to the host machine over SEND/RECV (§4.3).
+func (tx *Txn) Insert(table memstore.TableID, key uint64, value []byte) error {
+	if tx.readOnly {
+		return fmt.Errorf("txn: insert in read-only transaction")
+	}
+	if w := tx.findWS(table, key); w != nil && w.kind != wsDelete {
+		return fmt.Errorf("txn: duplicate insert of key %d", key)
+	}
+	shard, node, local := tx.homeOf(table, key)
+	tx.ws = append(tx.ws, wsEntry{
+		kind: wsInsert, table: table, key: key,
+		shard: shard, node: node, local: local,
+		buf: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// Delete removes a record at commit.
+func (tx *Txn) Delete(table memstore.TableID, key uint64) error {
+	if tx.readOnly {
+		return fmt.Errorf("txn: delete in read-only transaction")
+	}
+	shard, node, local := tx.homeOf(table, key)
+	tx.ws = append(tx.ws, wsEntry{
+		kind: wsDelete, table: table, key: key,
+		shard: shard, node: node, local: local,
+	})
+	return nil
+}
+
+// ReadForUpdate is Read that also marks the record for update with the same
+// value (callers overwrite via Write); it simply combines the two common
+// calls.
+func (tx *Txn) ReadForUpdate(table memstore.TableID, key uint64) ([]byte, error) {
+	v, err := tx.Read(table, key)
+	if err != nil {
+		return nil, err
+	}
+	return v, tx.Write(table, key, v)
+}
+
+// localRead performs a consistent read of a local record inside a small HTM
+// region (Fig 5): check the lock word first — a locked record means a
+// remote transaction is about to update it, so manually abort and retry
+// with randomized backoff (§4.3) — then snapshot the record.
+func (tx *Txn) localRead(table memstore.TableID, key uint64) (rsEntry, error) {
+	tbl := tx.w.E.M.Store.Table(table)
+	if tbl == nil {
+		return rsEntry{}, fmt.Errorf("txn: unknown table %d", table)
+	}
+	off, ok := tbl.Lookup(key)
+	if !ok {
+		return rsEntry{}, ErrNotFound
+	}
+	eng := tx.w.E.M.Eng
+	var img []byte
+	for attempt := 0; attempt < 256; attempt++ {
+		tx.w.Clk.Advance(tx.w.E.Costs.LocalAccess)
+		htx := eng.Begin()
+		lockW, err := htx.Load64(off + memstore.LockOff)
+		if err != nil {
+			tx.w.backoff(attempt)
+			continue
+		}
+		if lockW != 0 {
+			htx.Abort(abortCodeLocked)
+			tx.w.maybeReleaseDangling(tx.cfg, tx.w.E.M.ID, off, lockW)
+			tx.w.backoff(attempt)
+			continue
+		}
+		img, err = htx.Read(off, tbl.RecBytes, img)
+		if err != nil {
+			tx.w.backoff(attempt)
+			continue
+		}
+		if err := htx.Commit(); err != nil {
+			tx.w.backoff(attempt)
+			continue
+		}
+		return rsEntry{
+			table: table, key: key, off: off, local: true,
+			seq: memstore.RecSeq(img), inc: memstore.RecInc(img),
+			val: memstore.GatherValue(img, tbl.Spec.ValueSize),
+		}, nil
+	}
+	return rsEntry{}, tx.abort(AbortLocked, "local record %d/%d stayed locked", table, key)
+}
+
+// remoteRead performs a lock-free consistent read of a remote record with
+// one-sided RDMA: fetch the whole record, then check that every cacheline's
+// version matches the sequence number (Fig 6). checkLock additionally
+// rejects locked records — required only by the read-only protocol (§4.5);
+// read-write transactions may read locked and uncommittable records
+// optimistically, because commit-time validation (with the record locked)
+// decides.
+func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, checkLock bool) (rsEntry, error) {
+	tbl := tx.w.E.M.Store.Table(table)
+	if tbl == nil {
+		return rsEntry{}, fmt.Errorf("txn: unknown table %d", table)
+	}
+	qp := tx.w.QP(node)
+	lk := locKey{node: node, table: table, key: key}
+	var (
+		loc    locVal
+		cached bool
+	)
+	if !tx.w.E.DisableLocCache {
+		loc, cached = tx.w.E.locCache.get(lk)
+	}
+	if !cached {
+		var err error
+		loc, err = tx.w.remoteLookup(qp, tbl, key)
+		if err != nil {
+			return rsEntry{}, err
+		}
+		tx.w.E.locCache.put(lk, loc)
+	}
+	var img []byte
+	for attempt := 0; attempt < 256; attempt++ {
+		var err error
+		img, err = qp.Read(loc.off, tbl.RecBytes, img)
+		if err != nil {
+			return rsEntry{}, tx.abort(AbortNodeDead, "read %v", err)
+		}
+		if !memstore.VersionsConsistent(img) {
+			tx.w.backoff(attempt) // torn racing write; retry
+			continue
+		}
+		inc := memstore.RecInc(img)
+		if inc&memstore.IncLocMask != loc.inc {
+			// Stale cached location: the record was freed (and maybe
+			// reused). Re-resolve through the index.
+			tx.w.E.locCache.drop(lk)
+			nl, err := tx.w.remoteLookup(qp, tbl, key)
+			if err != nil {
+				return rsEntry{}, err
+			}
+			loc = nl
+			tx.w.E.locCache.put(lk, loc)
+			continue
+		}
+		if checkLock {
+			if lockW := memstore.RecLock(img); lockW != 0 {
+				tx.w.maybeReleaseDangling(tx.cfg, node, loc.off, lockW)
+				tx.w.backoff(attempt)
+				continue
+			}
+		}
+		return rsEntry{
+			table: table, key: key, off: loc.off, node: node,
+			seq: memstore.RecSeq(img), inc: inc,
+			val: memstore.GatherValue(img, tbl.Spec.ValueSize),
+		}, nil
+	}
+	return rsEntry{}, tx.abort(AbortStale, "remote record %d/%d never stabilized", table, key)
+}
+
+// remoteLookup walks the remote hash index with one-sided RDMA READs.
+func (w *Worker) remoteLookup(qp *rdma.QP, tbl *memstore.Table, key uint64) (locVal, error) {
+	h := tbl.Hash()
+	bucketOff := memstore.BucketOffFor(h.Base(), h.NumBuckets(), key)
+	var img [64]byte
+	for bucketOff != 0 {
+		b, err := qp.Read(bucketOff, 64, img[:])
+		if err != nil {
+			return locVal{}, &Error{Reason: AbortNodeDead, Detail: err.Error()}
+		}
+		packed, next, found := memstore.ParseBucket(b, key)
+		if found {
+			off, inc := memstore.SplitLoc(packed)
+			return locVal{off: off, inc: inc}, nil
+		}
+		bucketOff = next
+	}
+	return locVal{}, ErrNotFound
+}
+
+// maybeReleaseDangling implements §5.2's passive lock release: a lock whose
+// owner is not a member of the current configuration was left by a failed
+// machine and may be cleared (with RDMA CAS, as all lock operations).
+func (w *Worker) maybeReleaseDangling(cfg *cluster.Config, node rdma.NodeID, off uint64, lockW uint64) {
+	owner, held := memstore.LockOwner(lockW)
+	if !held {
+		return
+	}
+	if cfg.IsMember(rdma.NodeID(owner)) {
+		return
+	}
+	// Use the freshest configuration to double-check (the snapshot may
+	// predate a reconfiguration that re-admitted nothing).
+	cur := w.E.M.Config()
+	if cur.IsMember(rdma.NodeID(owner)) {
+		return
+	}
+	_, _, _ = w.QP(node).CAS(off+memstore.LockOff, lockW, 0)
+}
+
+// equalValue is used by tests: whether a read value equals b.
+func equalValue(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// Store returns the local machine's memory store, for workload-level index
+// probes (ordered scans resolve candidate keys through the local B+-tree and
+// then read the records back through the protocol, Silo-style).
+func (tx *Txn) Store() *memstore.Store { return tx.w.E.M.Store }

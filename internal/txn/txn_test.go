@@ -1,0 +1,531 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"drtmr/internal/cluster"
+	"drtmr/internal/htm"
+	"drtmr/internal/memstore"
+	"drtmr/internal/rdma"
+)
+
+const tblAcct memstore.TableID = 1
+
+// world is a test cluster with one account table partitioned by key%nodes.
+type world struct {
+	c       *cluster.Cluster
+	engines []*Engine
+}
+
+func newWorld(t *testing.T, nodes, replicas int, htmCfg htm.Config) *world {
+	t.Helper()
+	spec := cluster.Spec{
+		Nodes:     nodes,
+		Replicas:  replicas,
+		MemBytes:  16 << 20,
+		RingBytes: 1 << 16,
+		HTM:       htmCfg,
+	}
+	c := cluster.New(spec)
+	part := func(table memstore.TableID, key uint64) cluster.ShardID {
+		return cluster.ShardID(key % uint64(nodes))
+	}
+	w := &world{c: c}
+	for _, m := range c.Machines {
+		m.Store.CreateTable(tblAcct, memstore.TableSpec{
+			Name: "acct", ValueSize: 16, ExpectedRows: 1024,
+		})
+		w.engines = append(w.engines, NewEngine(m, part, DefaultCosts()))
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return w
+}
+
+func encBal(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func decBal(b []byte) uint64 { return binary.LittleEndian.Uint64(b[:8]) }
+
+// load populates accounts 0..n-1 with balance on the primary AND every
+// backup (f+1 copies, as the paper's loader would).
+func (w *world) load(t *testing.T, n int, balance uint64) {
+	t.Helper()
+	cfg := w.c.Coord.Current()
+	for key := uint64(0); key < uint64(n); key++ {
+		shard := cluster.ShardID(key % uint64(w.c.Spec.Nodes))
+		nodes := append([]rdma.NodeID{cfg.PrimaryOf(shard)}, cfg.BackupsOf(shard)...)
+		for _, nd := range nodes {
+			if _, err := w.c.Machines[nd].Store.Table(tblAcct).Insert(key, encBal(balance)); err != nil {
+				t.Fatalf("load key %d on node %d: %v", key, nd, err)
+			}
+		}
+	}
+}
+
+func (w *world) totalOnPrimaries(n int) uint64 {
+	cfg := w.c.Coord.Current()
+	var total uint64
+	for key := uint64(0); key < uint64(n); key++ {
+		shard := cluster.ShardID(key % uint64(w.c.Spec.Nodes))
+		m := w.c.Machines[cfg.PrimaryOf(shard)]
+		off, ok := m.Store.Table(tblAcct).Lookup(key)
+		if !ok {
+			continue
+		}
+		total += decBal(m.Store.Table(tblAcct).ReadValueNonTx(off))
+	}
+	return total
+}
+
+func TestLocalReadWriteCommit(t *testing.T) {
+	w := newWorld(t, 1, 1, htm.Config{})
+	w.load(t, 4, 100)
+	wk := w.engines[0].NewWorker(0)
+	err := wk.Run(func(tx *Txn) error {
+		v, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 0, encBal(decBal(v)+5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	err = wk.RunReadOnly(func(tx *Txn) error {
+		v, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		got = decBal(v)
+		return nil
+	})
+	if err != nil || got != 105 {
+		t.Fatalf("read back: %d %v", got, err)
+	}
+	if wk.Stats.Committed != 2 {
+		t.Fatalf("stats: %+v", wk.Stats)
+	}
+}
+
+func TestDistributedTransfer(t *testing.T) {
+	w := newWorld(t, 3, 1, htm.Config{})
+	w.load(t, 6, 100)
+	// Worker on node 0 moves 10 from key 1 (node 1) to key 2 (node 2) and
+	// 5 from key 0 (local) to key 1.
+	wk := w.engines[0].NewWorker(0)
+	err := wk.Run(func(tx *Txn) error {
+		v1, err := tx.Read(tblAcct, 1)
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read(tblAcct, 2)
+		if err != nil {
+			return err
+		}
+		v0, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(tblAcct, 1, encBal(decBal(v1)-10+5)); err != nil {
+			return err
+		}
+		if err := tx.Write(tblAcct, 2, encBal(decBal(v2)+10)); err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 0, encBal(decBal(v0)-5))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{0: 95, 1: 95, 2: 110}
+	wk2 := w.engines[1].NewWorker(1) // verify from a different machine
+	for key, exp := range want {
+		var got uint64
+		if err := wk2.RunReadOnly(func(tx *Txn) error {
+			v, err := tx.Read(tblAcct, key)
+			if err != nil {
+				return err
+			}
+			got = decBal(v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != exp {
+			t.Fatalf("key %d: got %d want %d", key, got, exp)
+		}
+	}
+}
+
+func TestReadNotFound(t *testing.T) {
+	w := newWorld(t, 2, 1, htm.Config{})
+	w.load(t, 2, 1)
+	wk := w.engines[0].NewWorker(0)
+	err := wk.Run(func(tx *Txn) error {
+		_, err := tx.Read(tblAcct, 999) // shard 1: remote
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("remote miss: %v", err)
+		}
+		_, err = tx.Read(tblAcct, 998) // shard 0: local
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("local miss: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	w := newWorld(t, 2, 1, htm.Config{})
+	w.load(t, 2, 50)
+	wk := w.engines[0].NewWorker(0)
+	err := wk.Run(func(tx *Txn) error {
+		if err := tx.Write(tblAcct, 1, encBal(77)); err != nil {
+			return err
+		}
+		v, err := tx.Read(tblAcct, 1)
+		if err != nil {
+			return err
+		}
+		if decBal(v) != 77 {
+			t.Errorf("own write invisible: %d", decBal(v))
+		}
+		if err := tx.Insert(tblAcct, 100, encBal(1)); err != nil {
+			return err
+		}
+		v, err = tx.Read(tblAcct, 100)
+		if err != nil || decBal(v) != 1 {
+			t.Errorf("own insert invisible: %v %v", v, err)
+		}
+		if err := tx.Delete(tblAcct, 0); err != nil {
+			return err
+		}
+		if _, err := tx.Read(tblAcct, 0); !errors.Is(err, ErrNotFound) {
+			t.Errorf("own delete invisible: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteAcrossMachines(t *testing.T) {
+	w := newWorld(t, 2, 1, htm.Config{})
+	w.load(t, 2, 1)
+	wk := w.engines[0].NewWorker(0)
+	// Insert a remote record (key 11 -> shard 1).
+	if err := wk.Run(func(tx *Txn) error {
+		return tx.Insert(tblAcct, 11, encBal(42))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := wk.RunReadOnly(func(tx *Txn) error {
+		v, err := tx.Read(tblAcct, 11)
+		if err != nil {
+			return err
+		}
+		got = decBal(v)
+		return nil
+	}); err != nil || got != 42 {
+		t.Fatalf("remote insert: %d %v", got, err)
+	}
+	// Delete it remotely.
+	if err := wk.Run(func(tx *Txn) error {
+		return tx.Delete(tblAcct, 11)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wk.RunReadOnly(func(tx *Txn) error {
+		_, err := tx.Read(tblAcct, 11)
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("after delete: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBankInvariant is the central correctness test: concurrent
+// mixed local/distributed transfers from every machine conserve total value,
+// with spurious HTM aborts enabled to exercise retries and the fallback.
+func TestConcurrentBankInvariant(t *testing.T) {
+	const (
+		nodes     = 3
+		accounts  = 24
+		transfers = 120
+		initial   = 1000
+	)
+	w := newWorld(t, nodes, 1, htm.Config{SpuriousAbortProb: 0.02, Seed: 7})
+	w.load(t, accounts, initial)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		for wi := 0; wi < 2; wi++ {
+			wg.Add(1)
+			go func(node, id int) {
+				defer wg.Done()
+				wk := w.engines[node].NewWorker(id)
+				rng := newTestRand(uint64(node*10 + id + 1))
+				for i := 0; i < transfers; i++ {
+					from := rng.next() % accounts
+					to := rng.next() % accounts
+					if from == to {
+						continue
+					}
+					err := wk.Run(func(tx *Txn) error {
+						fv, err := tx.Read(tblAcct, from)
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Read(tblAcct, to)
+						if err != nil {
+							return err
+						}
+						amt := uint64(1 + rng.next()%5)
+						if decBal(fv) < amt {
+							return nil // no-op commit
+						}
+						if err := tx.Write(tblAcct, from, encBal(decBal(fv)-amt)); err != nil {
+							return err
+						}
+						return tx.Write(tblAcct, to, encBal(decBal(tv)+amt))
+					})
+					if err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				}
+			}(n, wi)
+		}
+	}
+	wg.Wait()
+	if total := w.totalOnPrimaries(accounts); total != accounts*initial {
+		t.Fatalf("value not conserved: %d != %d", total, accounts*initial)
+	}
+}
+
+// TestReplicationConsistency runs transfers with 3-way replication and then
+// checks that, after the log rings drain, every backup agrees with its
+// primary.
+func TestReplicationConsistency(t *testing.T) {
+	const (
+		nodes    = 3
+		accounts = 12
+		initial  = 500
+	)
+	w := newWorld(t, nodes, 3, htm.Config{})
+	w.load(t, accounts, initial)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			wk := w.engines[node].NewWorker(node)
+			rng := newTestRand(uint64(node + 77))
+			for i := 0; i < 60; i++ {
+				from := rng.next() % accounts
+				to := rng.next() % accounts
+				if from == to {
+					continue
+				}
+				if err := wk.Run(func(tx *Txn) error {
+					fv, err := tx.Read(tblAcct, from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(tblAcct, to)
+					if err != nil {
+						return err
+					}
+					if decBal(fv) == 0 {
+						return nil
+					}
+					if err := tx.Write(tblAcct, from, encBal(decBal(fv)-1)); err != nil {
+						return err
+					}
+					return tx.Write(tblAcct, to, encBal(decBal(tv)+1))
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	if total := w.totalOnPrimaries(accounts); total != accounts*initial {
+		t.Fatalf("primary value not conserved: %d", total)
+	}
+	// Let appliers drain, then compare replicas.
+	deadline := time.Now().Add(3 * time.Second)
+	cfg := w.c.Coord.Current()
+	for {
+		mismatches := 0
+		for key := uint64(0); key < accounts; key++ {
+			shard := cluster.ShardID(key % nodes)
+			p := w.c.Machines[cfg.PrimaryOf(shard)]
+			pOff, _ := p.Store.Table(tblAcct).Lookup(key)
+			pv := decBal(p.Store.Table(tblAcct).ReadValueNonTx(pOff))
+			for _, b := range cfg.BackupsOf(shard) {
+				bm := w.c.Machines[b]
+				bOff, ok := bm.Store.Table(tblAcct).Lookup(key)
+				if !ok {
+					mismatches++
+					continue
+				}
+				if decBal(bm.Store.Table(tblAcct).ReadValueNonTx(bOff)) != pv {
+					mismatches++
+				}
+			}
+		}
+		if mismatches == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d replica mismatches after drain", mismatches)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestUncommittableBlocksCommit checks the seqlock rule directly: a record
+// parked at an odd sequence number can be read but not committed against.
+func TestUncommittableBlocksCommit(t *testing.T) {
+	w := newWorld(t, 2, 3, htm.Config{})
+	w.load(t, 2, 100)
+	// Manually flip record 0 (local to node 0) to an odd seq, simulating
+	// a transaction that committed in HTM but has not replicated yet.
+	m := w.c.Machines[0]
+	off, _ := m.Store.Table(tblAcct).Lookup(0)
+	m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
+
+	wk := w.engines[0].NewWorker(0)
+	// The execution phase may read it...
+	tx := wk.Begin()
+	if _, err := tx.Read(tblAcct, 0); err != nil {
+		t.Fatalf("optimistic read of uncommittable record: %v", err)
+	}
+	if err := tx.Write(tblAcct, 0, encBal(1)); err != nil {
+		t.Fatal(err)
+	}
+	// ...but commit must fail while it stays odd.
+	err := tx.Commit()
+	var te *Error
+	if !errors.As(err, &te) || te.Reason != AbortValidate {
+		t.Fatalf("commit against uncommittable record: %v", err)
+	}
+	// Once "replicated" (seq flipped even), the retry succeeds.
+	m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
+	if err := wk.Run(func(tx *Txn) error {
+		v, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 0, encBal(decBal(v)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteLockBlocksLocalRead checks §4.3: a local read of a record locked
+// by a remote transaction backs off instead of reading it.
+func TestRemoteLockBlocksLocalRead(t *testing.T) {
+	w := newWorld(t, 2, 1, htm.Config{})
+	w.load(t, 2, 100)
+	m := w.c.Machines[0]
+	off, _ := m.Store.Table(tblAcct).Lookup(0)
+	// Node 1 locks node 0's record via RDMA CAS.
+	wk1 := w.engines[1].NewWorker(9)
+	word := memstore.LockWord(1)
+	if _, ok, _ := wk1.QP(0).CAS(off+memstore.LockOff, 0, word); !ok {
+		t.Fatal("setup lock failed")
+	}
+	wk0 := w.engines[0].NewWorker(0)
+	done := make(chan error, 1)
+	go func() {
+		done <- wk0.Run(func(tx *Txn) error {
+			_, err := tx.Read(tblAcct, 0)
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("local read of locked record returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Unlock: the read completes.
+	if _, ok, _ := wk1.QP(0).CAS(off+memstore.LockOff, word, 0); !ok {
+		t.Fatal("unlock failed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read never completed after unlock")
+	}
+}
+
+// TestDanglingLockReleased checks §5.2's passive release: a lock owned by a
+// machine outside the configuration is cleared by whoever trips over it.
+func TestDanglingLockReleased(t *testing.T) {
+	w := newWorld(t, 3, 3, htm.Config{})
+	w.load(t, 3, 100)
+	m0 := w.c.Machines[0]
+	off, _ := m0.Store.Table(tblAcct).Lookup(0)
+	// Node 2 "locks" the record, then dies; the config drops it.
+	wk2 := w.engines[2].NewWorker(0)
+	if _, ok, _ := wk2.QP(0).CAS(off+memstore.LockOff, 0, memstore.LockWord(2)); !ok {
+		t.Fatal("setup lock failed")
+	}
+	w.c.Kill(2)
+	// Wait for reconfiguration.
+	deadline := time.Now().Add(2 * time.Second)
+	for w.c.Coord.Current().IsMember(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("no reconfig")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for m0.Config().IsMember(2) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A transaction from node 1 touching the record must succeed by
+	// passively releasing the dangling lock.
+	wk1 := w.engines[1].NewWorker(1)
+	if err := wk1.Run(func(tx *Txn) error {
+		v, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(tblAcct, 0, encBal(decBal(v)+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m0.Eng.Load64NonTx(off + memstore.LockOff); got != 0 {
+		t.Fatalf("lock still held: %#x", got)
+	}
+}
+
+// testRand is a tiny LCG for test-side randomness.
+type testRand struct{ s uint64 }
+
+func newTestRand(seed uint64) *testRand { return &testRand{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *testRand) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
