@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: build, vet, and the full suite under the race
+# detector (the simulator runs real goroutines per worker/applier, so -race
+# exercises the HTM engine and NIC paths hard).
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -18,7 +18,15 @@ func TestFig20_RecoveryTimeline(t *testing.T) {
 		t.Skip("wall-clock recovery experiment")
 	}
 	lease := 150 * time.Millisecond
-	tl := harness.RunRecovery(3, 2, 3*time.Second, lease)
+	run := 3 * time.Second
+	if raceEnabled {
+		// The race detector slows goroutines by roughly an order of
+		// magnitude; widen the wall-clock windows so lease expiry,
+		// reconfiguration and recovery still fit inside the run.
+		lease = 400 * time.Millisecond
+		run = 10 * time.Second
+	}
+	tl := harness.RunRecovery(3, 2, run, lease)
 	tl.Fprint(os.Stdout)
 	if tl.SuspectAt.IsZero() {
 		t.Fatal("failure never suspected")

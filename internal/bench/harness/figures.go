@@ -50,6 +50,14 @@ type Row struct {
 	Values []float64
 }
 
+// addBreakdown appends r's commit-phase latency breakdown (the doorbell
+// batching instrumentation; see Result.CommitBreakdown) as a table note.
+func (t *Table) addBreakdown(label string, r Result) {
+	if s := r.CommitBreakdown(); s != "" {
+		t.Notes = append(t.Notes, label+" "+s)
+	}
+}
+
 // Fprint renders the table.
 func (t Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s ==\n", t.Title)
@@ -91,23 +99,29 @@ func Fig10(scale Scale) Table {
 	if scale == Smoke {
 		nodesList = []int{1, 3}
 	}
+	var last Result
 	for _, n := range nodesList {
 		if n > maxNodes {
 			break
 		}
 		row := Row{X: float64(n)}
 		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM, SysCalvin} {
+			nn := n
 			if sys == SysDrTMR3 && n < 3 {
 				// 3-way replication needs >= 3 machines; the paper
 				// replicates to standby machines below 3 — model by
 				// running with 3 nodes but load on n.
-				row.Values = append(row.Values, runFigPoint(sys, maxInt(n, 3), threads, scale))
-				continue
+				nn = maxInt(n, 3)
 			}
-			row.Values = append(row.Values, runFigPoint(sys, n, threads, scale))
+			r := runFigPoint(sys, nn, threads, scale)
+			if sys == SysDrTMR {
+				last = r
+			}
+			row.Values = append(row.Values, r.NewOrderTPS)
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown("DrTM+R (largest sweep point)", last)
 	return t
 }
 
@@ -118,14 +132,13 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func runFigPoint(sys System, nodes, threads int, scale Scale) float64 {
-	r := Run(Options{
+func runFigPoint(sys System, nodes, threads int, scale Scale) Result {
+	return Run(Options{
 		System: sys, Workload: WLTPCC,
 		Nodes: nodes, ThreadsPerNode: threads,
 		WarehousesPerNode: threads,
 		TxPerWorker:       scale.txPerWorker(),
 	})
-	return r.NewOrderTPS
 }
 
 // Fig11 — TPC-C throughput vs threads per machine (6 machines): DrTM+R,
@@ -142,13 +155,19 @@ func Fig11(scale Scale) Table {
 		nodes = 2
 		threadsList = []int{1, 4}
 	}
+	var last Result
 	for _, th := range threadsList {
 		row := Row{X: float64(th)}
 		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM} {
-			row.Values = append(row.Values, runFigPoint(sys, nodes, th, scale))
+			r := runFigPoint(sys, nodes, th, scale)
+			if sys == SysDrTMR {
+				last = r
+			}
+			row.Values = append(row.Values, r.NewOrderTPS)
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown("DrTM+R (most threads)", last)
 	return t
 }
 
@@ -166,11 +185,14 @@ func Fig12(scale Scale) Table {
 	if scale == Smoke {
 		list = []int{2, 4}
 	}
+	var last Result
 	for _, n := range list {
 		row := Row{X: float64(n)}
-		row.Values = append(row.Values, runFigPoint(SysDrTMR, n, 4, scale))
+		last = runFigPoint(SysDrTMR, n, 4, scale)
+		row.Values = append(row.Values, last.NewOrderTPS)
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown("DrTM+R (most nodes)", last)
 	return t
 }
 
@@ -201,6 +223,7 @@ func figSmallBank(title, xlabel string, replicated bool, byMachines bool, scale 
 	if scale == Smoke {
 		accounts = 1000
 	}
+	var last Result
 	for _, x := range sweep {
 		row := Row{X: float64(x)}
 		for _, prob := range []float64{0.01, 0.05, 0.10} {
@@ -225,10 +248,12 @@ func figSmallBank(title, xlabel string, replicated bool, byMachines bool, scale 
 				SBAccountsPerNode: accounts, SBRemoteProb: prob,
 				TxPerWorker: scale.txPerWorker(),
 			})
+			last = r
 			row.Values = append(row.Values, r.TotalTPS)
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown(sys.String()+" (largest sweep point, remote=10%)", last)
 	return t
 }
 
@@ -269,6 +294,7 @@ func Fig17(scale Scale) Table {
 		nodes, threads = 2, 2
 		probs = []float64{0.01, 0.50}
 	}
+	var last Result
 	for _, p := range probs {
 		row := Row{X: p * 100}
 		for _, sys := range []System{SysDrTMR, SysDrTMR3, SysDrTM} {
@@ -283,10 +309,14 @@ func Fig17(scale Scale) Table {
 				CrossWarehouseNO:  p,
 				TxPerWorker:       scale.txPerWorker(),
 			})
+			if sys == SysDrTMR {
+				last = r
+			}
 			row.Values = append(row.Values, r.NewOrderTPS)
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown("DrTM+R (highest cross-warehouse %)", last)
 	return t
 }
 
@@ -303,6 +333,7 @@ func Fig18(scale Scale) Table {
 		nodes = 2
 		threadsList = []int{1, 4}
 	}
+	var last Result
 	for _, th := range threadsList {
 		row := Row{X: float64(th)}
 		for _, sys := range []System{SysDrTMR, SysDrTM} {
@@ -312,10 +343,14 @@ func Fig18(scale Scale) Table {
 				WarehousesPerNode: 1, // all threads share one warehouse
 				TxPerWorker:       scale.txPerWorker(),
 			})
+			if sys == SysDrTMR {
+				last = r
+			}
 			row.Values = append(row.Values, r.NewOrderTPS)
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.addBreakdown("DrTM+R (most threads)", last)
 	return t
 }
 

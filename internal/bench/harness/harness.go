@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -126,6 +127,36 @@ type Result struct {
 	AbortRate    float64
 	Fallbacks    uint64
 	AvgLatencyUs float64
+
+	// Phases aggregates the commit pipeline's per-phase verb / doorbell /
+	// virtual-latency counters across all workers (DrTM+R systems only;
+	// see txn.CommitPhase). CommitBreakdown renders it.
+	Phases [txn.NumPhases]txn.PhaseStat
+}
+
+// CommitBreakdown renders the per-phase commit-latency breakdown: average
+// one-sided verbs, doorbell batches and virtual microseconds per committed
+// transaction. Empty for systems without the instrumented pipeline.
+func (r Result) CommitBreakdown() string {
+	if r.Committed == 0 {
+		return ""
+	}
+	var parts []string
+	for p := txn.CommitPhase(0); p < txn.NumPhases; p++ {
+		ps := r.Phases[p]
+		if ps.Batches == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.2f verbs in %.2f doorbells, %.2fus",
+			p,
+			float64(ps.Verbs)/float64(r.Committed),
+			float64(ps.Batches)/float64(r.Committed),
+			float64(ps.Nanos)/float64(r.Committed)/1e3))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "commit breakdown per txn: " + strings.Join(parts, "; ")
 }
 
 func (r Result) String() string {
@@ -273,6 +304,7 @@ func runDrTMR(o Options) Result {
 		aborts     uint64
 		fallbacks  uint64
 		maxVirtual int64
+		phaseAgg   txn.Stats
 	)
 	for n := 0; n < o.Nodes; n++ {
 		for t := 0; t < o.ThreadsPerNode; t++ {
@@ -308,6 +340,7 @@ func runDrTMR(o Options) Result {
 				newOrders += localNO
 				aborts += w.Stats.AbortsTotal()
 				fallbacks += w.Stats.Fallbacks
+				phaseAgg.AddPhases(&w.Stats)
 				if v := w.Clk.Now(); v > maxVirtual {
 					maxVirtual = v
 				}
@@ -316,7 +349,9 @@ func runDrTMR(o Options) Result {
 		}
 	}
 	wg.Wait()
-	return summarize(o, committed, newOrders, aborts, fallbacks, maxVirtual)
+	r := summarize(o, committed, newOrders, aborts, fallbacks, maxVirtual)
+	r.Phases = phaseAgg.Phases
+	return r
 }
 
 func summarize(o Options, committed, newOrders, aborts, fallbacks uint64, maxVirtual int64) Result {

@@ -178,16 +178,21 @@ type Token struct {
 // End returns the logical position just past the entry (for MarkCommitted).
 func (tk Token) End() uint64 { return tk.pos + tk.n }
 
-// AppendPayload reserves space and writes everything EXCEPT the first
+// AppendPayload reserves space and posts into b everything EXCEPT the first
 // cacheline (which holds the header): the entry stays invisible. Blocks
-// while the ring is full.
-func (w *Writer) AppendPayload(qp *rdma.QP, entry []byte) (Token, error) {
+// while the ring is full. The payload verb executes when the caller runs
+// b.Execute() — replication fans payloads out to every ring through ONE
+// doorbell batch, so the whole fan-out costs one base write latency. The
+// returned Pending (nil when the entry fits in a single cacheline) reports
+// whether the payload landed; callers must not Publish an entry whose
+// payload failed.
+func (w *Writer) AppendPayload(qp *rdma.QP, b *rdma.Batch, entry []byte) (Token, *rdma.Pending, error) {
 	if len(entry)%sim.CachelineSize != 0 {
-		return Token{}, fmt.Errorf("oplog: entry not cacheline padded (%d)", len(entry))
+		return Token{}, nil, fmt.Errorf("oplog: entry not cacheline padded (%d)", len(entry))
 	}
 	need := uint64(len(entry))
 	if need > w.geo.Size/2 {
-		return Token{}, fmt.Errorf("oplog: entry of %d bytes exceeds half the ring", need)
+		return Token{}, nil, fmt.Errorf("oplog: entry of %d bytes exceeds half the ring", need)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -198,47 +203,50 @@ func (w *Writer) AppendPayload(qp *rdma.QP, entry []byte) (Token, error) {
 		var skip [8]byte
 		binary.LittleEndian.PutUint32(skip[0:4], skipLen)
 		if err := w.waitSpace(qp, w.geo.Size-off); err != nil {
-			return Token{}, err
+			return Token{}, nil, err
 		}
 		if err := qp.Write(w.geo.Base+off, skip[:]); err != nil {
-			return Token{}, err
+			return Token{}, nil, err
 		}
 		w.tail += w.geo.Size - off
 	}
 	if err := w.waitSpace(qp, need); err != nil {
-		return Token{}, err
+		return Token{}, nil, err
 	}
 	tk := Token{pos: w.tail, n: need}
 	w.tail += need
+	var pend *rdma.Pending
 	if len(entry) > sim.CachelineSize {
 		off := w.geo.Base + tk.pos%w.geo.Size
-		// Posted write: replication fans payloads out to every ring
-		// and charges one base latency per phase at the txn layer.
-		if err := qp.PostWrite(off+sim.CachelineSize, entry[sim.CachelineSize:]); err != nil {
-			return Token{}, err
-		}
+		pend = b.PostWrite(qp, off+sim.CachelineSize, entry[sim.CachelineSize:])
 	}
-	return tk, nil
+	return tk, pend, nil
 }
 
-// Publish writes the entry's first cacheline (containing the header): the
-// single line-atomic write that makes the entry visible to the applier.
-// Posted (no base latency): the caller charges one latency per publish
-// batch.
-func (w *Writer) Publish(qp *rdma.QP, tk Token, entry []byte) error {
+// Publish posts the entry's first cacheline (containing the header) into b:
+// the single line-atomic write that makes the entry visible to the applier
+// once b.Execute() runs. Headers for many rings share one doorbell batch, so
+// the publish fan-out also costs one base write latency.
+func (w *Writer) Publish(qp *rdma.QP, b *rdma.Batch, tk Token, entry []byte) *rdma.Pending {
 	off := w.geo.Base + tk.pos%w.geo.Size
-	return qp.PostWrite(off, entry[:sim.CachelineSize])
+	return b.PostWrite(qp, off, entry[:sim.CachelineSize])
 }
 
 // Append is the one-shot payload+publish path for callers that do not need
-// the two-phase split (single-ring replication, tests). The entry is marked
-// committed immediately, so the applier may truncate it after applying.
+// the cross-ring batching (single-ring replication, tests). The entry is
+// marked committed immediately, so the applier may truncate it after
+// applying.
 func (w *Writer) Append(qp *rdma.QP, entry []byte) error {
-	tk, err := w.AppendPayload(qp, entry)
+	b := qp.Batch()
+	tk, _, err := w.AppendPayload(qp, b, entry)
 	if err != nil {
 		return err
 	}
-	if err := w.Publish(qp, tk, entry); err != nil {
+	if err := b.Execute(); err != nil {
+		return err
+	}
+	w.Publish(qp, b, tk, entry)
+	if err := b.Execute(); err != nil {
 		return err
 	}
 	w.MarkCommitted(tk.End())
@@ -318,6 +326,11 @@ type Applier struct {
 	// full write set are skipped. nil means "replicate everything".
 	replicates func(shard uint16) bool
 
+	// mu serializes the drain paths: the steady-state auxiliary thread
+	// Polls concurrently with reconfiguration's recovery drain (Poll/Scan
+	// from the config-watcher goroutine).
+	mu sync.Mutex
+
 	head    uint64 // truncation frontier (logical)
 	applied uint64 // apply frontier (logical), >= head
 
@@ -330,14 +343,24 @@ func NewApplier(eng *htm.Engine, store *memstore.Store, geo Geometry, replicates
 }
 
 // Applied returns the number of entries applied so far.
-func (a *Applier) Applied() uint64 { return a.appliedEntries }
+func (a *Applier) Applied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.appliedEntries
+}
 
 // Head returns the truncation frontier (for recovery accounting).
-func (a *Applier) Head() uint64 { return a.head }
+func (a *Applier) Head() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.head
+}
 
 // Poll applies all newly published entries and truncates up to the
 // watermark. Returns how many entries were applied.
 func (a *Applier) Poll() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n := 0
 	// Apply phase: walk from the apply frontier. The frontier is bounded
 	// by head+Size: beyond that, physical positions wrap onto entries
@@ -388,6 +411,8 @@ func (a *Applier) truncate() {
 
 // Scan walks every published, un-truncated entry (recovery redo source).
 func (a *Applier) Scan(fn func(txnID uint64, recs []Rec) error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	pos := a.head
 	for pos < a.head+a.geo.Size {
 		entry, adv, err := a.peek(pos)

@@ -1,0 +1,247 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"drtmr/internal/sim"
+)
+
+// TestBatchChargesMaxNotSum is the core doorbell-batching property: a K-verb
+// batch fanned out to M nodes charges ONE base latency (the slowest verb
+// kind), not K full round-trips.
+func TestBatchChargesMaxNotSum(t *testing.T) {
+	net, _ := newFabric(t, 4, Config{}) // no bandwidth limit: pure latency
+	var clk sim.Clock
+	qps := []*QP{net.NewQP(0, 1, &clk), net.NewQP(0, 2, &clk), net.NewQP(0, 3, &clk)}
+	prof := net.Profile()
+
+	b := NewBatch(&clk)
+	for _, qp := range qps {
+		b.PostRead(qp, 0, 24)
+		b.PostRead64(qp, 64)
+	}
+	start := clk.Now()
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Duration(clk.Now() - start)
+	if elapsed < prof.Read {
+		t.Fatalf("6-READ batch charged %v, want >= one Read base %v", elapsed, prof.Read)
+	}
+	if elapsed >= 2*prof.Read {
+		t.Fatalf("6-READ batch to 3 nodes charged %v, want < 2x Read base %v (max, not sum)", elapsed, 2*prof.Read)
+	}
+
+	// A mixed batch costs the SLOWEST verb kind's base latency.
+	b2 := NewBatch(&clk)
+	b2.PostCAS(qps[0], 128, 0, 7)
+	b2.PostRead64(qps[1], 128)
+	start = clk.Now()
+	if err := b2.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed = time.Duration(clk.Now() - start)
+	if elapsed < prof.CAS {
+		t.Fatalf("CAS+READ batch charged %v, want >= CAS base %v", elapsed, prof.CAS)
+	}
+	if elapsed >= prof.CAS+prof.Read {
+		t.Fatalf("CAS+READ batch charged %v, want < CAS+Read sum %v", elapsed, prof.CAS+prof.Read)
+	}
+}
+
+// TestBatchSequentialMatchesSyncVerbs: the ablation knob must reproduce the
+// old per-verb accounting — K verbs cost K full base latencies.
+func TestBatchSequentialMatchesSyncVerbs(t *testing.T) {
+	net, _ := newFabric(t, 2, Config{})
+	var clk sim.Clock
+	qp := net.NewQP(0, 1, &clk)
+	prof := net.Profile()
+
+	b := NewBatch(&clk)
+	b.SetSequential(true)
+	const k = 6
+	for i := 0; i < k; i++ {
+		b.PostRead64(qp, uint64(i*64))
+	}
+	start := clk.Now()
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Duration(clk.Now() - start)
+	if elapsed < k*prof.Read {
+		t.Fatalf("sequential %d-READ batch charged %v, want >= %v (sum of bases)", k, elapsed, k*prof.Read)
+	}
+}
+
+// TestBatchBandwidthQueueingPerTarget: with a tiny NIC bandwidth, batching
+// overlaps round-trips but NOT wire serialization — each endpoint NIC still
+// queues every byte. Fanning the same verbs out over more targets shortens
+// the max per-target queue.
+func TestBatchBandwidthQueueingPerTarget(t *testing.T) {
+	cfg := Config{NICBytesPerSec: 1 << 20} // 1 MiB/s
+	payload := make([]byte, 4096)
+
+	run := func(targets int) time.Duration {
+		net, _ := newFabric(t, 4, cfg)
+		var clk sim.Clock
+		b := NewBatch(&clk)
+		for i := 0; i < 8; i++ {
+			qp := net.NewQP(0, NodeID(1+i%targets), &clk)
+			b.PostWrite(qp, 0, payload)
+		}
+		start := clk.Now()
+		if err := b.Execute(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(clk.Now() - start)
+	}
+
+	one := run(1)
+	three := run(3)
+	// 8 x ~4KiB at 1 MiB/s ≈ 32ms: the sender NIC serializes all of it in
+	// both cases, so fanning out cannot go below the sender's queue, but the
+	// cost must never be summed per round-trip either.
+	if one < 25*time.Millisecond {
+		t.Fatalf("bandwidth not modelled in batch: %v", one)
+	}
+	if three > one {
+		t.Fatalf("fan-out to 3 targets slower than 1 target: %v > %v", three, one)
+	}
+}
+
+// TestBatchCASAbortsConflictingHTM: batched verbs keep strong atomicity —
+// a batched CAS or WRITE aborts an HTM transaction reading that cacheline.
+func TestBatchCASAbortsConflictingHTM(t *testing.T) {
+	net, engs := newFabric(t, 2, Config{})
+	var clk sim.Clock
+	qp := net.NewQP(0, 1, &clk)
+
+	tx := engs[1].Begin()
+	if _, err := tx.Load64(512); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(&clk)
+	p := b.PostCAS(qp, 512, 0, 1)
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Swapped || p.Prev != 0 {
+		t.Fatalf("CAS result: prev=%d swapped=%v", p.Prev, p.Swapped)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("batched CAS must abort conflicting HTM txn")
+	}
+
+	tx2 := engs[1].Begin()
+	if _, err := tx2.Load64(1024); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBatch(&clk)
+	b2.PostWrite64(qp, 1024, 9)
+	if err := b2.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err == nil {
+		t.Fatal("batched WRITE must abort conflicting HTM txn")
+	}
+}
+
+// TestBatchReadDoesNotAbortHTMReader: read-read stays compatible.
+func TestBatchReadDoesNotAbortHTMReader(t *testing.T) {
+	net, engs := newFabric(t, 2, Config{})
+	var clk sim.Clock
+	qp := net.NewQP(0, 1, &clk)
+
+	tx := engs[1].Begin()
+	if _, err := tx.Load64(512); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(&clk)
+	b.PostRead(qp, 512, 8)
+	b.PostRead64(qp, 512)
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-read should not conflict: %v", err)
+	}
+}
+
+// TestBatchResults: per-verb completion slots carry the right data.
+func TestBatchResults(t *testing.T) {
+	net, engs := newFabric(t, 2, Config{})
+	var clk sim.Clock
+	qp := net.NewQP(0, 1, &clk)
+	want := []byte("doorbell batching works!")
+	engs[1].WriteNonTx(256, want)
+	engs[1].Store64NonTx(512, 41)
+
+	b := NewBatch(&clk)
+	rd := b.PostRead(qp, 256, len(want))
+	v := b.PostRead64(qp, 512)
+	casOK := b.PostCAS(qp, 512, 41, 42)
+	casFail := b.PostCAS(qp, 576, 99, 1)
+	if b.Len() != 4 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("Execute must reset the batch")
+	}
+	if !bytes.Equal(rd.Data, want) {
+		t.Fatalf("READ data: %q", rd.Data)
+	}
+	if v.Val != 41 {
+		t.Fatalf("READ64: %d", v.Val)
+	}
+	if !casOK.Swapped || casOK.Prev != 41 {
+		t.Fatalf("CAS ok: %+v", casOK)
+	}
+	if casFail.Swapped || casFail.Prev != 0 {
+		t.Fatalf("CAS fail: %+v", casFail)
+	}
+	if got := engs[1].Load64NonTx(512); got != 42 {
+		t.Fatalf("CAS did not land: %d", got)
+	}
+}
+
+// TestBatchDeadNodePerVerbError: a dead target fails only ITS verbs; verbs to
+// live targets in the same doorbell still complete.
+func TestBatchDeadNodePerVerbError(t *testing.T) {
+	net, engs := newFabric(t, 3, Config{})
+	var clk sim.Clock
+	qpDead := net.NewQP(0, 1, &clk)
+	qpLive := net.NewQP(0, 2, &clk)
+	engs[2].Store64NonTx(64, 7)
+	net.NIC(1).Kill()
+
+	b := NewBatch(&clk)
+	pd := b.PostRead64(qpDead, 0)
+	pl := b.PostRead64(qpLive, 64)
+	if err := b.Execute(); err != ErrNodeDead {
+		t.Fatalf("Execute err = %v, want ErrNodeDead", err)
+	}
+	if pd.Err != ErrNodeDead {
+		t.Fatalf("dead-target verb err = %v", pd.Err)
+	}
+	if pl.Err != nil || pl.Val != 7 {
+		t.Fatalf("live-target verb: err=%v val=%d", pl.Err, pl.Val)
+	}
+}
+
+// TestBatchEmptyChargesNothing: an empty doorbell (e.g. replicate() with all
+// targets dead-node-skipped) must not advance the clock.
+func TestBatchEmptyChargesNothing(t *testing.T) {
+	var clk sim.Clock
+	b := NewBatch(&clk)
+	if err := b.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("empty batch advanced clock to %d", clk.Now())
+	}
+}

@@ -18,6 +18,10 @@
 //     experiments hinge on (Figs 11, 15, 16). All durations are charged to
 //     the issuing worker's virtual clock (see internal/sim vtime), not to
 //     wall-clock time.
+//   - Doorbell batching (see batch.go): a Batch collects posted verbs to one
+//     or more QPs and Execute charges max(per-target queueing) + one base
+//     latency instead of the per-verb sum — wire bytes and HTM routing are
+//     unchanged, only the overlap of round-trips is modelled.
 //
 // Failure injection: a NIC can be killed (fail-stop). Verbs against a dead
 // NIC return ErrNodeDead after a timeout; the machine's memory is preserved,
@@ -360,19 +364,4 @@ func (nic *NIC) TryRecv() (Message, bool) {
 	default:
 		return Message{}, false
 	}
-}
-
-// PostWrite issues a one-sided WRITE without charging the verb's base
-// latency — only bandwidth/serialization. Callers that post a batch of
-// writes to different machines in one go (replication fan-out, doorbell
-// batching) issue the posts and then charge a single base latency for the
-// batch, which is how posted verbs behave on real hardware.
-func (qp *QP) PostWrite(off uint64, data []byte) error {
-	if !qp.remote.alive.Load() {
-		return ErrNodeDead
-	}
-	charge(qp.clk, qp.local, qp.remote, 0, len(data))
-	qp.remote.stats.Writes.Add(1)
-	qp.remote.eng.WriteNonTx(off, data)
-	return nil
 }

@@ -161,38 +161,79 @@ func (tx *Txn) remoteLockSet() []lockTarget {
 	return out
 }
 
-// lockRemote try-locks each target with RDMA CAS; any failure releases what
-// was taken and aborts (no waiting: deadlock-free).
+// lockRemote try-locks every target with one doorbell batch of RDMA CASes
+// (try-lock semantics keep the batch deadlock-free: no verb ever waits).
+// Targets that fail on a dangling lock from a dead machine are passively
+// released and retried in a second, smaller batch (§5.2); any remaining
+// failure releases the acquired subset and aborts.
 func (tx *Txn) lockRemote(locks []lockTarget) error {
 	w := tx.w
 	myWord := memstore.LockWord(uint32(w.E.M.ID))
+	b := w.newBatch()
+	pend := make([]*rdma.Pending, len(locks))
 	for i, lt := range locks {
-		prev, ok, err := w.QP(lt.node).CAS(lt.off+memstore.LockOff, 0, myWord)
-		if err != nil {
-			tx.unlockRemote(locks[:i])
-			return tx.abort(AbortNodeDead, "lock: %v", err)
-		}
-		if !ok {
+		pend[i] = b.PostCAS(w.QP(lt.node), lt.off+memstore.LockOff, 0, myWord)
+	}
+	_ = w.execBatch(PhaseLock, b)
+
+	acquired := make([]lockTarget, 0, len(locks))
+	var retry []int
+	var verr error
+	for i, p := range pend {
+		switch {
+		case p.Err != nil:
+			verr = p.Err
+		case p.Swapped:
+			acquired = append(acquired, locks[i])
+		default:
 			// Dangling lock from a failed machine? Release passively
 			// and retry once (§5.2).
-			w.maybeReleaseDangling(tx.cfg, lt.node, lt.off, prev)
-			prev2, ok2, err2 := w.QP(lt.node).CAS(lt.off+memstore.LockOff, 0, myWord)
-			if err2 != nil || !ok2 {
-				_ = prev2
-				tx.unlockRemote(locks[:i])
-				return tx.abort(AbortLockFailed, "record %d:%#x held by %#x", lt.node, lt.off, prev)
+			w.maybeReleaseDangling(tx.cfg, locks[i].node, locks[i].off, p.Prev)
+			retry = append(retry, i)
+		}
+	}
+	if verr != nil {
+		tx.unlockTargets(PhaseLock, acquired)
+		return tx.abort(AbortNodeDead, "lock: %v", verr)
+	}
+	if len(retry) > 0 {
+		rb := w.newBatch()
+		rpend := make([]*rdma.Pending, len(retry))
+		for j, i := range retry {
+			rpend[j] = rb.PostCAS(w.QP(locks[i].node), locks[i].off+memstore.LockOff, 0, myWord)
+		}
+		_ = w.execBatch(PhaseLock, rb)
+		for j, i := range retry {
+			p := rpend[j]
+			if p.Err != nil || !p.Swapped {
+				tx.unlockTargets(PhaseLock, acquired)
+				return tx.abort(AbortLockFailed, "record %d:%#x held by %#x",
+					locks[i].node, locks[i].off, pend[i].Prev)
 			}
+			acquired = append(acquired, locks[i])
 		}
 	}
 	return nil
 }
 
 func (tx *Txn) unlockRemote(locks []lockTarget) {
+	tx.unlockTargets(PhaseUnlock, locks)
+}
+
+// unlockTargets releases the given locks with one doorbell batch of CASes,
+// charged to phase (C.6 on the normal path, C.1 when backing out a failed
+// lock batch).
+func (tx *Txn) unlockTargets(phase CommitPhase, locks []lockTarget) {
+	if len(locks) == 0 {
+		return
+	}
 	w := tx.w
 	myWord := memstore.LockWord(uint32(w.E.M.ID))
+	b := w.newBatch()
 	for _, lt := range locks {
-		_, _, _ = w.QP(lt.node).CAS(lt.off+memstore.LockOff, myWord, 0)
+		b.PostCAS(w.QP(lt.node), lt.off+memstore.LockOff, myWord, 0)
 	}
+	_ = w.execBatch(phase, b)
 }
 
 // seqValidates applies Table 4's read-validation condition.
@@ -203,20 +244,45 @@ func (tx *Txn) seqValidates(seen, cur uint64) bool {
 	return seen == cur
 }
 
-// validateRemote is C.2: one RDMA READ of each remote read-set record's
-// header, plus base-seq fetch for blind remote writes.
+// validateRemote is C.2: one doorbell batch of header READs covering every
+// remote read-set record plus the base-seq fetch of every blind remote
+// write, then all checks against the returned headers. The fetched headers
+// also carry each record's incarnation, which is cached on the write-set
+// entry so C.5 never re-reads it.
 func (tx *Txn) validateRemote() error {
 	w := tx.w
-	var hdr [24]byte
+	b := w.newBatch()
+	rsPend := make([]*rdma.Pending, len(tx.rs))
 	for i := range tx.rs {
-		r := &tx.rs[i]
-		if r.local {
+		if !tx.rs[i].local {
+			rsPend[i] = b.PostRead(w.QP(tx.rs[i].node), tx.rs[i].off, 24)
+		}
+	}
+	var wsIdx []int
+	var wsPend []*rdma.Pending
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.local || e.kind != wsUpdate || e.off == 0 {
 			continue
 		}
-		h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
-		if err != nil {
-			return tx.abort(AbortNodeDead, "validate: %v", err)
+		if tx.findRS(e.table, e.key) != nil {
+			continue // base comes from the read-set header below
 		}
+		wsIdx = append(wsIdx, i)
+		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
+	}
+	_ = w.execBatch(PhaseValidate, b)
+
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		p := rsPend[i]
+		if p == nil {
+			continue
+		}
+		if p.Err != nil {
+			return tx.abort(AbortNodeDead, "validate: %v", p.Err)
+		}
+		h := p.Data
 		if memstore.RecInc(h) != r.inc {
 			return tx.abort(AbortValidate, "remote inc changed")
 		}
@@ -224,25 +290,23 @@ func (tx *Txn) validateRemote() error {
 		if !tx.seqValidates(r.seq, cur) {
 			return tx.abort(AbortValidate, "remote seq %d -> %d", r.seq, cur)
 		}
-		// Record the authoritative base for co-located writes.
+		// Record the authoritative base (and incarnation) for co-located
+		// writes.
 		if e := tx.findWS(r.table, r.key); e != nil && !e.local && e.kind == wsUpdate {
 			e.baseSeq = cur
 			e.finSeq = tx.finalSeq(cur)
+			e.inc = r.inc
+			e.haveInc = true
 		}
 	}
-	// Blind remote writes: fetch current seq under the lock.
-	for i := range tx.ws {
+	// Blind remote writes: current seq was fetched under the lock.
+	for j, i := range wsIdx {
 		e := &tx.ws[i]
-		if e.local || e.kind != wsUpdate || e.off == 0 {
-			continue
+		p := wsPend[j]
+		if p.Err != nil {
+			return tx.abort(AbortNodeDead, "ws fetch: %v", p.Err)
 		}
-		if tx.findRS(e.table, e.key) != nil {
-			continue // base set above
-		}
-		h, err := w.QP(e.node).Read(e.off, 24, hdr[:])
-		if err != nil {
-			return tx.abort(AbortNodeDead, "ws fetch: %v", err)
-		}
+		h := p.Data
 		cur := memstore.RecSeq(h)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
 			// Table 4 C.2 R_WS: cannot overwrite an unreplicated record.
@@ -250,6 +314,8 @@ func (tx *Txn) validateRemote() error {
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
+		e.inc = memstore.RecInc(h)
+		e.haveInc = true
 	}
 	return nil
 }
@@ -451,23 +517,37 @@ func (tx *Txn) replicate() []ringToken {
 			targets[b] = struct{}{}
 		}
 	}
-	var toks []ringToken
+	// Payload fan-out: every ring's payload write shares one doorbell
+	// batch (one base write latency for the whole fan-out); the header
+	// publishes below share a second. An empty batch — every target dead
+	// or skipped — charges nothing.
+	type pendingAppend struct {
+		node rdma.NodeID
+		tok  oplog.Token
+		pend *rdma.Pending
+	}
+	pb := w.newBatch()
+	var appends []pendingAppend
 	for node := range targets {
 		wr := w.E.M.LogWriter(node)
-		tk, err := wr.AppendPayload(w.QP(node), entry)
+		tk, pend, err := wr.AppendPayload(w.QP(node), pb, entry)
 		if err != nil {
 			continue // dead target: its replacement is covered post-reconfig
 		}
-		toks = append(toks, ringToken{node: node, tok: tk})
+		appends = append(appends, pendingAppend{node: node, tok: tk, pend: pend})
 	}
-	// The payload posts above and the header publishes below each count as
-	// one posted batch: one base write latency per phase.
-	prof := w.E.M.Cluster().Net.Profile()
-	w.Clk.Advance(prof.Write)
-	for _, tk := range toks {
-		_ = w.E.M.LogWriter(tk.node).Publish(w.QP(tk.node), tk.tok, entry)
+	_ = w.execBatch(PhaseLog, pb)
+
+	hb := w.newBatch()
+	var toks []ringToken
+	for _, a := range appends {
+		if a.pend != nil && a.pend.Err != nil {
+			continue // payload never landed (died mid-batch): do not publish
+		}
+		w.E.M.LogWriter(a.node).Publish(w.QP(a.node), hb, a.tok, entry)
+		toks = append(toks, ringToken{node: a.node, tok: a.tok})
 	}
-	w.Clk.Advance(prof.Write)
+	_ = w.execBatch(PhaseLog, hb)
 	return toks
 }
 
@@ -551,11 +631,12 @@ func (tx *Txn) stampVersions(htx *htm.Txn, off uint64, table memstore.TableID, s
 	return nil
 }
 
-// writeBackRemote is C.5: RDMA WRITE each remote update's new image (final
-// committable seq, versions stamped), skipping the lock word, plus the
-// seq-flip of remote inserts.
+// writeBackRemote is C.5: one doorbell batch of RDMA WRITEs installing each
+// remote update's new image (final committable seq, versions stamped),
+// skipping the lock word, plus the seq-flip of remote inserts.
 func (tx *Txn) writeBackRemote() {
 	w := tx.w
+	b := w.newBatch()
 	for i := range tx.ws {
 		e := &tx.ws[i]
 		if e.local || e.off == 0 {
@@ -567,12 +648,11 @@ func (tx *Txn) writeBackRemote() {
 				e.finSeq = tx.finalSeq(e.baseSeq)
 			}
 			tbl := w.E.M.Store.Table(e.table)
-			// Incarnation is preserved: fetch is unnecessary, the value
-			// was validated in C.2, so rebuild with the read inc if we
-			// have one; otherwise read the header once.
+			// Incarnation is preserved: C.2 (or fallback validation)
+			// cached it on the entry, so no extra header READ here.
 			inc := tx.incFor(e)
 			img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, e.finSeq)
-			_ = w.QP(e.node).Write(e.off+8, img[8:])
+			b.PostWrite(w.QP(e.node), e.off+8, img[8:])
 		case wsInsert:
 			if !w.E.Replicated {
 				continue
@@ -582,14 +662,20 @@ func (tx *Txn) writeBackRemote() {
 			// Write seq + data + versions; inc is unknown here (the
 			// host assigned it), so skip the first 24 header bytes and
 			// write the seq word separately.
-			_ = w.QP(e.node).Write64(e.off+memstore.SeqOff, e.finSeq)
-			_ = w.QP(e.node).Write(e.off+24, img[24:])
+			b.PostWrite64(w.QP(e.node), e.off+memstore.SeqOff, e.finSeq)
+			b.PostWrite(w.QP(e.node), e.off+24, img[24:])
 		}
 	}
+	_ = w.execBatch(PhaseWriteBack, b)
 }
 
-// incFor returns the incarnation to preserve in a remote write-back.
+// incFor returns the incarnation to preserve in a remote write-back. The
+// normal pipeline always caches it during validation (C.2 or fallback); the
+// header READ is a last resort for paths that never fetched it.
 func (tx *Txn) incFor(e *wsEntry) uint64 {
+	if e.haveInc {
+		return e.inc
+	}
 	if r := tx.findRS(e.table, e.key); r != nil {
 		return r.inc
 	}
@@ -602,8 +688,18 @@ func (tx *Txn) incFor(e *wsEntry) uint64 {
 }
 
 // commitReadOnly validates sequence numbers only (§4.5): no HTM, no locks.
+// The remote read set validates through one doorbell batch of header READs.
 func (tx *Txn) commitReadOnly() error {
 	w := tx.w
+	b := w.newBatch()
+	pend := make([]*rdma.Pending, len(tx.rs))
+	for i := range tx.rs {
+		if !tx.rs[i].local {
+			pend[i] = b.PostRead(w.QP(tx.rs[i].node), tx.rs[i].off, 24)
+		}
+	}
+	_ = w.execBatch(PhaseROValidate, b)
+
 	var hdr [24]byte
 	for i := range tx.rs {
 		r := &tx.rs[i]
@@ -613,11 +709,11 @@ func (tx *Txn) commitReadOnly() error {
 			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
 			w.Clk.Advance(w.E.Costs.PerValidate)
 		} else {
-			h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
-			if err != nil {
-				return tx.abort(AbortNodeDead, "ro validate: %v", err)
+			p := pend[i]
+			if p.Err != nil {
+				return tx.abort(AbortNodeDead, "ro validate: %v", p.Err)
 			}
-			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+			inc, cur = memstore.RecInc(p.Data), memstore.RecSeq(p.Data)
 		}
 		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
 			return tx.abort(AbortValidate, "ro: record changed")

@@ -128,6 +128,11 @@ type Engine struct {
 	// DisableLocCache turns off the location cache (§6.3) — ablation knob:
 	// every remote access walks the remote hash index with RDMA READs.
 	DisableLocCache bool
+	// DisableVerbBatching turns off doorbell batching in the commit
+	// pipeline — ablation knob: every batch charges per-verb full
+	// round-trips (the pre-batching sequential accounting), so experiments
+	// can measure exactly what batching buys.
+	DisableVerbBatching bool
 
 	locCache *locCache
 }
@@ -162,12 +167,58 @@ type Worker struct {
 	Stats Stats
 }
 
+// CommitPhase indexes the per-phase verb/batch/latency counters of the
+// commit pipeline (Fig 7 steps plus the read-only and fallback protocols).
+type CommitPhase int
+
+// Commit pipeline phases.
+const (
+	PhaseLock       CommitPhase = iota // C.1: lock remote read+write sets
+	PhaseValidate                      // C.2: validate remote reads, fetch write bases
+	PhaseLog                           // R.1: replication payload + publish fan-out
+	PhaseWriteBack                     // C.5: write back remote updates
+	PhaseUnlock                        // C.6: unlock remote records
+	PhaseROValidate                    // §4.5: read-only remote validation
+	PhaseFallback                      // §6.1: fallback handler verb groups
+	NumPhases
+)
+
+func (p CommitPhase) String() string {
+	switch p {
+	case PhaseLock:
+		return "C.1-lock"
+	case PhaseValidate:
+		return "C.2-validate"
+	case PhaseLog:
+		return "R.1-log"
+	case PhaseWriteBack:
+		return "C.5-writeback"
+	case PhaseUnlock:
+		return "C.6-unlock"
+	case PhaseROValidate:
+		return "ro-validate"
+	case PhaseFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("CommitPhase(%d)", int(p))
+	}
+}
+
+// PhaseStat counts one commit phase's one-sided verb traffic and the virtual
+// time its doorbell batches cost (Figs 10-18 latency breakdowns).
+type PhaseStat struct {
+	Verbs   uint64 // one-sided verbs posted
+	Batches uint64 // doorbells rung (non-empty batches executed)
+	Nanos   uint64 // virtual ns spent executing this phase's batches
+}
+
 // Stats counts per-worker outcomes.
 type Stats struct {
 	Committed uint64
 	Aborts    [8]uint64 // indexed by AbortReason
 	Fallbacks uint64
 	Retries   uint64
+	Phases    [NumPhases]PhaseStat
 }
 
 // AbortsTotal sums all abort reasons.
@@ -177,6 +228,15 @@ func (s *Stats) AbortsTotal() uint64 {
 		t += v
 	}
 	return t
+}
+
+// AddPhases accumulates another worker's phase counters (harness roll-up).
+func (s *Stats) AddPhases(o *Stats) {
+	for i := range s.Phases {
+		s.Phases[i].Verbs += o.Phases[i].Verbs
+		s.Phases[i].Batches += o.Phases[i].Batches
+		s.Phases[i].Nanos += o.Phases[i].Nanos
+	}
 }
 
 // NewWorker creates worker id on this engine.
@@ -192,6 +252,33 @@ func (e *Engine) NewWorker(id int) *Worker {
 
 // QP returns the worker's queue pair to node.
 func (w *Worker) QP(node rdma.NodeID) *rdma.QP { return w.qps[node] }
+
+// newBatch creates a doorbell batch on this worker's clock, honoring the
+// engine's sequential-accounting ablation knob.
+func (w *Worker) newBatch() *rdma.Batch {
+	b := rdma.NewBatch(&w.Clk)
+	if w.E.DisableVerbBatching {
+		b.SetSequential(true)
+	}
+	return b
+}
+
+// execBatch rings the doorbell on b and charges its verbs, doorbell and
+// virtual latency to the given commit phase's counters. Empty batches cost
+// (and count) nothing.
+func (w *Worker) execBatch(phase CommitPhase, b *rdma.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	start := w.Clk.Now()
+	err := b.Execute()
+	ps := &w.Stats.Phases[phase]
+	ps.Batches++
+	ps.Verbs += uint64(n)
+	ps.Nanos += uint64(w.Clk.Now() - start)
+	return err
+}
 
 func (w *Worker) backoff(attempt int) {
 	max := 1 << uint(min(attempt, 8))

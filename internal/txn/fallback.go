@@ -89,44 +89,72 @@ func (tx *Txn) fallbackCommit(remoteLocks []lockTarget) error {
 		return targets[i].off < targets[j].off
 	})
 
-	// Step 3: lock everything (loop-back RDMA CAS for local records).
+	// Step 3: lock everything (loop-back RDMA CAS for local records). The
+	// targets are globally sorted; consecutive targets on the same node
+	// form one doorbell batch of CASes, and node groups are acquired
+	// strictly in sorted order — so the deadlock-freedom argument of the
+	// sorted acquisition is preserved while each group costs one CAS
+	// round-trip. Failed targets within a group retry (after passive
+	// dangling-lock release and backoff) in ever-smaller batches.
 	myWord := memstore.LockWord(uint32(self))
-	locked := 0
+	var acquired []fbTarget
 	lockFail := false
-	for _, t := range targets {
-		acquired := false
-		for attempt := 0; attempt < 32; attempt++ {
-			prev, ok, err := w.QP(t.node).CAS(t.off+memstore.LockOff, 0, myWord)
-			if err != nil {
+groups:
+	for lo := 0; lo < len(targets); {
+		hi := lo
+		for hi < len(targets) && targets[hi].node == targets[lo].node {
+			hi++
+		}
+		remaining := targets[lo:hi]
+		for attempt := 0; len(remaining) > 0; attempt++ {
+			if attempt >= 32 {
 				lockFail = true
-				break
+				break groups
 			}
-			if ok {
-				acquired = true
-				break
+			if attempt > 0 {
+				w.backoff(attempt)
 			}
-			w.maybeReleaseDangling(tx.cfg, t.node, t.off, prev)
-			w.backoff(attempt)
+			b := w.newBatch()
+			pend := make([]*rdma.Pending, len(remaining))
+			for i, t := range remaining {
+				pend[i] = b.PostCAS(w.QP(t.node), t.off+memstore.LockOff, 0, myWord)
+			}
+			_ = w.execBatch(PhaseFallback, b)
+			var next []fbTarget
+			for i, p := range pend {
+				switch {
+				case p.Err != nil:
+					lockFail = true
+					break groups
+				case p.Swapped:
+					acquired = append(acquired, remaining[i])
+				default:
+					w.maybeReleaseDangling(tx.cfg, remaining[i].node, remaining[i].off, p.Prev)
+					next = append(next, remaining[i])
+				}
+			}
+			remaining = next
 		}
-		if !acquired {
-			lockFail = true
-			break
-		}
-		locked++
+		lo = hi
 	}
-	unlockAll := func(n int) {
-		for _, t := range targets[:n] {
-			_, _, _ = w.QP(t.node).CAS(t.off+memstore.LockOff, myWord, 0)
+	unlockAll := func() {
+		if len(acquired) == 0 {
+			return
 		}
+		b := w.newBatch()
+		for _, t := range acquired {
+			b.PostCAS(w.QP(t.node), t.off+memstore.LockOff, myWord, 0)
+		}
+		_ = w.execBatch(PhaseFallback, b)
 	}
 	if lockFail {
-		unlockAll(locked)
+		unlockAll()
 		return tx.abort(AbortLockFailed, "fallback lock failed")
 	}
 
 	// Step 4: validate the whole read set under locks.
 	if err := tx.fallbackValidate(); err != nil {
-		unlockAll(locked)
+		unlockAll()
 		return err
 	}
 
@@ -157,17 +185,40 @@ func (tx *Txn) fallbackCommit(remoteLocks []lockTarget) error {
 		tx.makeupLocal()
 	}
 	tx.writeBackRemote()
-	unlockAll(locked)
+	unlockAll()
 	for _, tk := range toks {
 		w.E.M.LogWriter(tk.node).MarkCommitted(tk.tok.End())
 	}
 	return nil
 }
 
-// fallbackValidate checks every read-set record and fetches write bases,
-// all under locks.
+// fallbackValidate checks every read-set record and fetches write bases, all
+// under locks. Remote header READs (read set + blind write bases) share one
+// doorbell batch; local records read memory directly.
 func (tx *Txn) fallbackValidate() error {
 	w := tx.w
+	b := w.newBatch()
+	rsPend := make([]*rdma.Pending, len(tx.rs))
+	for i := range tx.rs {
+		if !tx.rs[i].local {
+			rsPend[i] = b.PostRead(w.QP(tx.rs[i].node), tx.rs[i].off, 24)
+		}
+	}
+	var wsIdx []int
+	var wsPend []*rdma.Pending
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		if e.kind != wsUpdate || e.off == 0 || e.local {
+			continue
+		}
+		if tx.findRS(e.table, e.key) != nil {
+			continue
+		}
+		wsIdx = append(wsIdx, i)
+		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
+	}
+	_ = w.execBatch(PhaseFallback, b)
+
 	var hdr [24]byte
 	for i := range tx.rs {
 		r := &tx.rs[i]
@@ -176,11 +227,11 @@ func (tx *Txn) fallbackValidate() error {
 			h := w.E.M.Eng.ReadNonTx(r.off, 24, hdr[:])
 			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
 		} else {
-			h, err := w.QP(r.node).Read(r.off, 24, hdr[:])
-			if err != nil {
-				return tx.abort(AbortNodeDead, "fallback validate: %v", err)
+			p := rsPend[i]
+			if p.Err != nil {
+				return tx.abort(AbortNodeDead, "fallback validate: %v", p.Err)
 			}
-			inc, cur = memstore.RecInc(h), memstore.RecSeq(h)
+			inc, cur = memstore.RecInc(p.Data), memstore.RecSeq(p.Data)
 		}
 		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
 			return tx.abort(AbortValidate, "fallback: record changed")
@@ -188,32 +239,43 @@ func (tx *Txn) fallbackValidate() error {
 		if e := tx.findWS(r.table, r.key); e != nil && e.kind == wsUpdate {
 			e.baseSeq = cur
 			e.finSeq = tx.finalSeq(cur)
+			if !e.local {
+				e.inc = inc
+				e.haveInc = true
+			}
 		}
 	}
+	// Local blind writes read memory directly; remote ones use the batch.
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if e.kind != wsUpdate || e.off == 0 {
+		if e.kind != wsUpdate || e.off == 0 || !e.local {
 			continue
 		}
 		if tx.findRS(e.table, e.key) != nil {
 			continue
 		}
-		var cur uint64
-		if e.local {
-			h := w.E.M.Eng.ReadNonTx(e.off, 24, hdr[:])
-			cur = memstore.RecSeq(h)
-		} else {
-			h, err := w.QP(e.node).Read(e.off, 24, hdr[:])
-			if err != nil {
-				return tx.abort(AbortNodeDead, "fallback ws fetch: %v", err)
-			}
-			cur = memstore.RecSeq(h)
-		}
+		h := w.E.M.Eng.ReadNonTx(e.off, 24, hdr[:])
+		cur := memstore.RecSeq(h)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
 			return tx.abort(AbortValidate, "fallback: ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
+	}
+	for j, i := range wsIdx {
+		e := &tx.ws[i]
+		p := wsPend[j]
+		if p.Err != nil {
+			return tx.abort(AbortNodeDead, "fallback ws fetch: %v", p.Err)
+		}
+		cur := memstore.RecSeq(p.Data)
+		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
+			return tx.abort(AbortValidate, "fallback: ws uncommittable")
+		}
+		e.baseSeq = cur
+		e.finSeq = tx.finalSeq(cur)
+		e.inc = memstore.RecInc(p.Data)
+		e.haveInc = true
 	}
 	return nil
 }

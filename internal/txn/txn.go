@@ -59,6 +59,11 @@ type wsEntry struct {
 	// replication).
 	baseSeq uint64
 	finSeq  uint64
+	// inc caches the record's incarnation, captured by the C.2 /
+	// fallback-validation header fetch (valid when haveInc): C.5 rebuilds
+	// the remote image from it instead of issuing a second header READ.
+	inc     uint64
+	haveInc bool
 }
 
 // Txn is one user transaction. It is created by Worker.Begin /

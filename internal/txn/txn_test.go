@@ -21,7 +21,7 @@ type world struct {
 	engines []*Engine
 }
 
-func newWorld(t *testing.T, nodes, replicas int, htmCfg htm.Config) *world {
+func newWorld(t testing.TB, nodes, replicas int, htmCfg htm.Config) *world {
 	t.Helper()
 	spec := cluster.Spec{
 		Nodes:     nodes,
@@ -56,7 +56,7 @@ func decBal(b []byte) uint64 { return binary.LittleEndian.Uint64(b[:8]) }
 
 // load populates accounts 0..n-1 with balance on the primary AND every
 // backup (f+1 copies, as the paper's loader would).
-func (w *world) load(t *testing.T, n int, balance uint64) {
+func (w *world) load(t testing.TB, n int, balance uint64) {
 	t.Helper()
 	cfg := w.c.Coord.Current()
 	for key := uint64(0); key < uint64(n); key++ {
@@ -261,8 +261,15 @@ func TestInsertDeleteAcrossMachines(t *testing.T) {
 
 // TestConcurrentBankInvariant is the central correctness test: concurrent
 // mixed local/distributed transfers from every machine conserve total value,
-// with spurious HTM aborts enabled to exercise retries and the fallback.
+// with spurious HTM aborts enabled to exercise retries and the fallback. It
+// runs with doorbell batching on (default) and off (sequential ablation) —
+// the two accounting modes must be behaviourally identical.
 func TestConcurrentBankInvariant(t *testing.T) {
+	t.Run("batched", func(t *testing.T) { runBankInvariant(t, false) })
+	t.Run("sequential", func(t *testing.T) { runBankInvariant(t, true) })
+}
+
+func runBankInvariant(t *testing.T, disableBatching bool) {
 	const (
 		nodes     = 3
 		accounts  = 24
@@ -270,6 +277,9 @@ func TestConcurrentBankInvariant(t *testing.T) {
 		initial   = 1000
 	)
 	w := newWorld(t, nodes, 1, htm.Config{SpuriousAbortProb: 0.02, Seed: 7})
+	for _, e := range w.engines {
+		e.DisableVerbBatching = disableBatching
+	}
 	w.load(t, accounts, initial)
 	var wg sync.WaitGroup
 	for n := 0; n < nodes; n++ {

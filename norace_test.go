@@ -1,0 +1,5 @@
+//go:build !race
+
+package drtmr_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package drtmr_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; wall-clock experiments scale their windows to absorb its
+// (roughly order-of-magnitude) slowdown.
+const raceEnabled = true

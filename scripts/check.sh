@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: build everything, vet everything, then run the full test suite
+# under the race detector. The simulator runs real goroutines for workers,
+# appliers and the coordinator, so -race gives the HTM/NIC/oplog paths a
+# genuine concurrency workout rather than a formality.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
