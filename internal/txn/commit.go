@@ -169,6 +169,11 @@ func (tx *Txn) remoteLockSet() []lockTarget {
 func (tx *Txn) lockRemote(locks []lockTarget) error {
 	w := tx.w
 	myWord := memstore.LockWord(uint32(w.E.M.ID))
+	// Trade-off vs. the old sequential loop: all CASes post before any
+	// result is seen, so under contention we may briefly take (then release)
+	// locks a sequential early-exit would never have touched. We accept the
+	// slightly hotter contention profile in exchange for one round-trip of
+	// latency for the whole lock phase.
 	b := w.newBatch()
 	pend := make([]*rdma.Pending, len(locks))
 	for i, lt := range locks {
@@ -203,14 +208,29 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 			rpend[j] = rb.PostCAS(w.QP(locks[i].node), locks[i].off+memstore.LockOff, 0, myWord)
 		}
 		_ = w.execBatch(PhaseLock, rb)
+		// The whole retry batch has executed: collect EVERY successful CAS
+		// into `acquired` before acting on any failure, or the back-out
+		// below would leak locks won later in the batch.
+		failed := -1
 		for j, i := range retry {
 			p := rpend[j]
 			if p.Err != nil || !p.Swapped {
-				tx.unlockTargets(PhaseLock, acquired)
-				return tx.abort(AbortLockFailed, "record %d:%#x held by %#x",
-					locks[i].node, locks[i].off, pend[i].Prev)
+				if failed < 0 {
+					failed = j
+				}
+				continue
 			}
 			acquired = append(acquired, locks[i])
+		}
+		if failed >= 0 {
+			tx.unlockTargets(PhaseLock, acquired)
+			i, p := retry[failed], rpend[failed]
+			if p.Err != nil {
+				return tx.abort(AbortLockFailed, "record %d:%#x relock: %v",
+					locks[i].node, locks[i].off, p.Err)
+			}
+			return tx.abort(AbortLockFailed, "record %d:%#x held by %#x",
+				locks[i].node, locks[i].off, p.Prev)
 		}
 	}
 	return nil

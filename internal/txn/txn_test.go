@@ -530,6 +530,100 @@ func TestDanglingLockReleased(t *testing.T) {
 	}
 }
 
+// TestLockRetryBackoutReleasesAll regression-tests the C.1 retry path: the
+// retry doorbell batch fully executes before its results are inspected, so
+// when an early slot fails the back-out must still release locks won by
+// LATER slots of the same batch — otherwise they leak forever (their holder
+// is live, so passive release never clears them).
+func TestLockRetryBackoutReleasesAll(t *testing.T) {
+	w := newWorld(t, 4, 3, htm.Config{})
+	w.load(t, 8, 100)
+	cfg := w.c.Coord.Current()
+	home := cfg.PrimaryOf(0) // keys 0 and 4 both live on shard 0's primary
+	m := w.c.Machines[home]
+	offA, _ := m.Store.Table(tblAcct).Lookup(0)
+	offB, _ := m.Store.Table(tblAcct).Lookup(4)
+	// lockRemote processes targets in ascending offset order. Make the
+	// LOWER offset the permanently stuck one (held by a live node) and the
+	// HIGHER offset the dangling lock the retry re-acquires after passive
+	// release, so the retry batch fails at slot 0 and succeeds at slot 1.
+	lowOff, highOff := offA, offB
+	if offB < offA {
+		lowOff, highOff = offB, offA
+	}
+	var others []rdma.NodeID
+	for n := rdma.NodeID(0); int(n) < 4; n++ {
+		if n != home {
+			others = append(others, n)
+		}
+	}
+	coord, liveHolder, deadNode := others[0], others[1], others[2]
+
+	liveWord := memstore.LockWord(uint32(liveHolder))
+	wkL := w.engines[liveHolder].NewWorker(0)
+	if _, ok, _ := wkL.QP(home).CAS(lowOff+memstore.LockOff, 0, liveWord); !ok {
+		t.Fatal("setup live lock failed")
+	}
+	wkD := w.engines[deadNode].NewWorker(0)
+	if _, ok, _ := wkD.QP(home).CAS(highOff+memstore.LockOff, 0, memstore.LockWord(uint32(deadNode))); !ok {
+		t.Fatal("setup dangling lock failed")
+	}
+	w.c.Kill(deadNode)
+	deadline := time.Now().Add(2 * time.Second)
+	for w.c.Coord.Current().IsMember(deadNode) {
+		if time.Now().After(deadline) {
+			t.Fatal("no reconfig")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for w.c.Machines[coord].Config().IsMember(deadNode) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	wk := w.engines[coord].NewWorker(1)
+	tx := wk.Begin()
+	for _, key := range []uint64{0, 4} {
+		v, err := tx.Read(tblAcct, key)
+		if err != nil {
+			t.Fatalf("read %d: %v", key, err)
+		}
+		if err := tx.Write(tblAcct, key, encBal(decBal(v)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := tx.Commit()
+	var te *Error
+	if !errors.As(err, &te) || te.Reason != AbortLockFailed {
+		t.Fatalf("commit against live-locked record: %v", err)
+	}
+	// The dangling-turned-acquired lock must have been backed out...
+	if got := m.Eng.Load64NonTx(highOff + memstore.LockOff); got != 0 {
+		t.Fatalf("retry lock leaked: %#x", got)
+	}
+	// ...while the live holder's lock is untouched.
+	if got := m.Eng.Load64NonTx(lowOff + memstore.LockOff); got != liveWord {
+		t.Fatalf("live lock clobbered: %#x", got)
+	}
+	// Once the live holder releases, the same transaction goes through.
+	if _, ok, _ := wkL.QP(home).CAS(lowOff+memstore.LockOff, liveWord, 0); !ok {
+		t.Fatal("release live lock failed")
+	}
+	if err := wk.Run(func(tx *Txn) error {
+		for _, key := range []uint64{0, 4} {
+			v, err := tx.Read(tblAcct, key)
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(tblAcct, key, encBal(decBal(v)+1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // testRand is a tiny LCG for test-side randomness.
 type testRand struct{ s uint64 }
 
