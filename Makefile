@@ -1,8 +1,25 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all help build test vet race check bench bench-smoke
 
 all: check
+
+help:
+	@echo "Targets:"
+	@echo "  build        go build ./..."
+	@echo "  vet          go vet ./... (after build)"
+	@echo "  test         full test suite"
+	@echo "  race         full test suite under -race"
+	@echo "  check        CI gate: build + vet + race + smoke benchmarks"
+	@echo "  bench        all benchmarks (smoke scale)"
+	@echo "  bench-smoke  every benchmark once (experiment-path smoke test)"
+	@echo ""
+	@echo "Knobs:"
+	@echo "  Engine.CoroutinesPerWorker / harness Options.CoroutinesPerWorker:"
+	@echo "    in-flight transaction contexts per worker (default 4)."
+	@echo "    1 = classic one-transaction-per-thread ablation; sweep with"
+	@echo "    'go run ./cmd/drtmr-bench -fig coro' or BenchmarkCoroutineOverlap."
+	@echo "  Engine.DisableVerbBatching: per-verb latency accounting ablation."
 
 build:
 	$(GO) build ./...
@@ -16,11 +33,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: build, vet, and the full suite under the race
-# detector (the simulator runs real goroutines per worker/applier, so -race
-# exercises the HTM engine and NIC paths hard).
+# check is the CI gate: build, vet, the full suite under the race detector
+# (the simulator runs real goroutines per worker/applier, so -race exercises
+# the HTM engine and NIC paths hard), then a 1x pass over every benchmark.
 check:
 	./scripts/check.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

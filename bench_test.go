@@ -84,3 +84,8 @@ func BenchmarkTable6_ReplicationImpact(b *testing.B) { runFig(b, harness.Table6)
 
 // BenchmarkSiloComparison reproduces §7.2's per-machine Silo comparison.
 func BenchmarkSiloComparison(b *testing.B) { runFig(b, harness.SiloComparison) }
+
+// BenchmarkFigCoroutineOverlap sweeps coroutines/worker (ours, not in the
+// paper): SmallBank throughput as each worker overlaps the RDMA round-trips
+// of 1-8 in-flight transactions.
+func BenchmarkFigCoroutineOverlap(b *testing.B) { runFig(b, harness.FigCoroutineOverlap) }

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", or "all"`)
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
 	flag.Parse()
 
@@ -42,8 +42,9 @@ func main() {
 		"19":   harness.Fig19,
 		"6t":   harness.Table6,
 		"silo": harness.SiloComparison,
+		"coro": harness.FigCoroutineOverlap,
 	}
-	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo"}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro"}
 
 	runOne := func(name string) {
 		if name == "20" {

@@ -205,17 +205,11 @@ func (w *Worker) Run(refs []Ref, body func(c *Ctx) error) error {
 }
 
 func (w *Worker) backoff(attempt int) {
-	max := 1 << uint(minInt(attempt, 8))
-	w.Clk.Advance(time.Duration(1+w.rng.Intn(max)) * w.E.Cost.Backoff)
+	maxExp := 1 << uint(min(attempt, 8))
+	w.Clk.Advance(time.Duration(1+w.rng.Intn(maxExp)) * w.E.Cost.Backoff)
 	sim.Spin(0)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 const bigHTMRetries = 8
 

@@ -197,18 +197,12 @@ func (w *Worker) Run(fn func(tx *Txn) error) error {
 			return err
 		}
 		w.Stats.Aborts++
-		max := 1 << uint(min(attempt, 8))
-		w.Clk.Advance(time.Duration(1+w.rng.Intn(max)) * w.DB.Cost.Backoff)
+		maxExp := 1 << uint(min(attempt, 8))
+		w.Clk.Advance(time.Duration(1+w.rng.Intn(maxExp)) * w.DB.Cost.Backoff)
 		sim.Spin(0)
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // Read returns a stable snapshot of the record (Silo's optimistic read:
 // word, value, word re-check).

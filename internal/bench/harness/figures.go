@@ -111,7 +111,7 @@ func Fig10(scale Scale) Table {
 				// 3-way replication needs >= 3 machines; the paper
 				// replicates to standby machines below 3 — model by
 				// running with 3 nodes but load on n.
-				nn = maxInt(n, 3)
+				nn = max(n, 3)
 			}
 			r := runFigPoint(sys, nn, threads, scale)
 			if sys == SysDrTMR {
@@ -123,13 +123,6 @@ func Fig10(scale Scale) Table {
 	}
 	t.addBreakdown("DrTM+R (largest sweep point)", last)
 	return t
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func runFigPoint(sys System, nodes, threads int, scale Scale) Result {
@@ -380,6 +373,45 @@ func Fig19(scale Scale) Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	return t
+}
+
+// FigCoroutineOverlap — coroutine scheduler sweep (ours, not in the paper):
+// SmallBank throughput vs in-flight transaction contexts per worker
+// (txn.Engine.CoroutinesPerWorker). N=1 is the one-transaction-per-thread
+// ablation; larger N overlaps the fabric round-trips that doorbell batching
+// alone cannot hide. The gain is largest when most commits are distributed
+// (high remote probability) and saturates once per-verb NIC queueing or
+// local CPU work dominates.
+func FigCoroutineOverlap(scale Scale) Table {
+	t := Table{
+		Title:   "Coroutine overlap: SmallBank throughput vs coroutines/worker (DrTM+R)",
+		XLabel:  "coroutines",
+		Columns: []string{"remote=10%", "remote=50%"},
+	}
+	nodes, threads := 6, 8
+	if scale == Smoke {
+		nodes, threads = 3, 2
+	}
+	var last Result
+	for _, n := range []int{1, 2, 4, 8} {
+		row := Row{X: float64(n)}
+		for _, prob := range []float64{0.10, 0.50} {
+			r := Run(Options{
+				System: SysDrTMR, Workload: WLSmallBank,
+				Nodes: nodes, ThreadsPerNode: threads,
+				SBRemoteProb:        prob,
+				CoroutinesPerWorker: n,
+				TxPerWorker:         scale.txPerWorker(),
+			})
+			if prob == 0.50 {
+				last = r
+			}
+			row.Values = append(row.Values, r.TotalTPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.addBreakdown("DrTM+R (8 coroutines, remote=50%)", last)
 	return t
 }
 

@@ -77,6 +77,12 @@ type Options struct {
 	SBAccountsPerNode int
 	SBRemoteProb      float64
 
+	// CoroutinesPerWorker overrides txn.Engine.CoroutinesPerWorker for
+	// DrTM+R systems: the number of in-flight transaction contexts each
+	// worker multiplexes (doorbells become yield points, round-trips
+	// overlap). 0 keeps the engine default; 1 is the no-overlap ablation.
+	CoroutinesPerWorker int
+
 	HTM  htm.Config
 	Seed uint64
 }
@@ -132,6 +138,15 @@ type Result struct {
 	// virtual-latency counters across all workers (DrTM+R systems only;
 	// see txn.CommitPhase). CommitBreakdown renders it.
 	Phases [txn.NumPhases]txn.PhaseStat
+
+	// Coroutine overlap aggregates (DrTM+R with CoroutinesPerWorker > 1):
+	// scheduling yields taken, virtual time of fabric round-trips hidden
+	// behind other in-flight transactions vs. still stalling the worker,
+	// and the peak in-flight transaction count seen on any single worker.
+	Yields       uint64
+	OverlapNanos uint64
+	StallNanos   uint64
+	MaxInFlight  uint64
 }
 
 // CommitBreakdown renders the per-phase commit-latency breakdown: average
@@ -155,6 +170,13 @@ func (r Result) CommitBreakdown() string {
 	}
 	if len(parts) == 0 {
 		return ""
+	}
+	if r.Yields > 0 {
+		parts = append(parts, fmt.Sprintf("coroutine overlap %.1f yields, %.2fus hidden, %.2fus stalled, peak %d in-flight/worker",
+			float64(r.Yields)/float64(r.Committed),
+			float64(r.OverlapNanos)/float64(r.Committed)/1e3,
+			float64(r.StallNanos)/float64(r.Committed)/1e3,
+			r.MaxInFlight))
 	}
 	return "commit breakdown per txn: " + strings.Join(parts, "; ")
 }
@@ -294,6 +316,11 @@ func runDrTMR(o Options) Result {
 			engines = append(engines, txn.NewEngine(m, wcfg.Partitioner(), txn.DefaultCosts()))
 		}
 	}
+	if o.CoroutinesPerWorker > 0 {
+		for _, e := range engines {
+			e.CoroutinesPerWorker = o.CoroutinesPerWorker
+		}
+	}
 	c.Start()
 
 	var (
@@ -313,27 +340,39 @@ func runDrTMR(o Options) Result {
 				defer wg.Done()
 				w := engines[node].NewWorker(tid)
 				var localNO uint64
+				// The worker multiplexes its TxPerWorker budget over N
+				// coroutines (strict handoff keeps the shared countdown and
+				// generator state single-threaded); N=1 runs the classic
+				// sequential loop.
+				ncoro := engines[node].CoroutinesPerWorker
+				remaining := o.TxPerWorker
 				switch o.Workload {
 				case WLTPCC:
 					wcfg := wcfgAny.(tpcc.Config)
 					whs := wcfg.WarehousesOf(node)
 					home := whs[tid%len(whs)]
 					ex := tpcc.NewExecutor(w, tpcc.NewGen(wcfg, home, o.Seed+uint64(node*100+tid)))
-					for i := 0; i < o.TxPerWorker; i++ {
-						ty, err := ex.RunOne()
-						if err != nil {
-							continue
+					w.RunCoroutines(ncoro, func(int) {
+						for remaining > 0 {
+							remaining--
+							ty, err := ex.RunOne()
+							if err != nil {
+								continue
+							}
+							if ty == tpcc.TxNewOrder {
+								localNO++
+							}
 						}
-						if ty == tpcc.TxNewOrder {
-							localNO++
-						}
-					}
+					})
 				case WLSmallBank:
 					wcfg := wcfgAny.(smallbank.Config)
 					g := smallbank.NewGen(wcfg, cluster.ShardID(node), o.Seed+uint64(node*100+tid))
-					for i := 0; i < o.TxPerWorker; i++ {
-						_ = smallbank.Execute(w, g.Next())
-					}
+					w.RunCoroutines(ncoro, func(int) {
+						for remaining > 0 {
+							remaining--
+							_ = smallbank.Execute(w, g.Next())
+						}
+					})
 				}
 				mu.Lock()
 				committed += w.Stats.Committed
@@ -341,6 +380,7 @@ func runDrTMR(o Options) Result {
 				aborts += w.Stats.AbortsTotal()
 				fallbacks += w.Stats.Fallbacks
 				phaseAgg.AddPhases(&w.Stats)
+				phaseAgg.AddOverlap(&w.Stats)
 				if v := w.Clk.Now(); v > maxVirtual {
 					maxVirtual = v
 				}
@@ -351,6 +391,10 @@ func runDrTMR(o Options) Result {
 	wg.Wait()
 	r := summarize(o, committed, newOrders, aborts, fallbacks, maxVirtual)
 	r.Phases = phaseAgg.Phases
+	r.Yields = phaseAgg.CoYields
+	r.OverlapNanos = phaseAgg.CoOverlapNanos
+	r.StallNanos = phaseAgg.CoStallNanos
+	r.MaxInFlight = phaseAgg.CoMaxInFlight
 	return r
 }
 

@@ -25,12 +25,6 @@ func backoff(rng *sim.Rand, attempt int) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 func mustCommitAdd(t *testing.T, e *Engine, rng *sim.Rand, off uint64, delta uint64) {
 	t.Helper()

@@ -175,22 +175,37 @@ func (b *Batch) PostCAS(qp *QP, off uint64, old, new uint64) *Pending {
 // land in the Pending slots; the returned error is the first per-verb error
 // (callers that need to know WHICH verbs failed inspect the slots). An empty
 // batch charges nothing. The batch is reset for reuse.
+//
+// Execute is ExecuteAsync followed by an immediate Wait.
 func (b *Batch) Execute() error {
+	return b.ExecuteAsync().Wait()
+}
+
+// ExecuteAsync rings the doorbell without blocking the worker: every posted
+// verb runs against its target in issue order exactly as under Execute —
+// memory effects, HTM strong-atomicity aborts, HCA CAS serialization and
+// NIC byte/queueing accounting all happen here, at post time — and the
+// returned Completion carries the doorbell's virtual completion time
+// (max(per-target queueing) + one base latency, or the per-verb sum under
+// SetSequential). The worker's clock is settled by Completion.Wait, so a
+// coroutine scheduler can run other transactions during the round-trip.
+// The batch is reset for reuse.
+func (b *Batch) ExecuteAsync() *Completion {
+	c := &Completion{clk: b.clk, end: b.clk.Now()}
 	if len(b.ops) == 0 {
-		return nil
+		return c
 	}
 	if b.seq {
-		return b.executeSequential()
+		return b.executeSequentialAsync(c)
 	}
 	now := b.clk.Now()
 	maxEnd := now
 	var base time.Duration
-	var firstErr error
 	for _, p := range b.ops {
 		if !p.qp.remote.alive.Load() {
 			p.Err = ErrNodeDead
-			if firstErr == nil {
-				firstErr = ErrNodeDead
+			if c.err == nil {
+				c.err = ErrNodeDead
 			}
 			continue
 		}
@@ -213,27 +228,47 @@ func (b *Batch) Execute() error {
 		p.qp.remote.stats.BytesIn.Add(uint64(wire))
 		p.perform()
 	}
-	b.clk.AdvanceTo(maxEnd)
-	b.clk.Advance(base)
+	c.end = maxEnd + int64(base)
 	b.Reset()
-	return firstErr
+	return c
 }
 
-// executeSequential is the ablation path: per-verb full round-trips, i.e. the
-// exact accounting of the synchronous QP verbs.
-func (b *Batch) executeSequential() error {
-	var firstErr error
+// executeSequentialAsync is the ablation path: per-verb full round-trips —
+// the exact accounting recurrence of the synchronous QP verbs, computed on
+// a cursor instead of the live clock so the charge can still be deferred.
+func (b *Batch) executeSequentialAsync(c *Completion) *Completion {
+	t := b.clk.Now()
 	for _, p := range b.ops {
 		if !p.qp.remote.alive.Load() {
 			p.Err = ErrNodeDead
-			if firstErr == nil {
-				firstErr = ErrNodeDead
+			if c.err == nil {
+				c.err = ErrNodeDead
 			}
 			continue
 		}
-		charge(b.clk, p.qp.local, p.qp.remote, p.base(p.qp.local.net.cfg.Profile), p.wireBytes())
+		// Mirror charge() verb by verb: advance the cursor by the base
+		// latency, then queue the wire bytes on both endpoints at that
+		// instant.
+		t += int64(p.base(p.qp.local.net.cfg.Profile))
+		wire := int64(p.wireBytes()) + 64
+		end := t
+		if bw := p.qp.local.net.cfg.NICBytesPerSec; bw > 0 {
+			ser := time.Duration(wire * int64(time.Second) / bw)
+			if e := p.qp.local.wire.Use(t, ser); e > end {
+				end = e
+			}
+			if p.qp.remote != p.qp.local {
+				if e := p.qp.remote.wire.Use(t, ser); e > end {
+					end = e
+				}
+			}
+		}
+		t = end
+		p.qp.local.stats.BytesOut.Add(uint64(wire))
+		p.qp.remote.stats.BytesIn.Add(uint64(wire))
 		p.perform()
 	}
+	c.end = t
 	b.Reset()
-	return firstErr
+	return c
 }

@@ -22,6 +22,12 @@
 //     or more QPs and Execute charges max(per-target queueing) + one base
 //     latency instead of the per-verb sum — wire bytes and HTM routing are
 //     unchanged, only the overlap of round-trips is modelled.
+//   - Asynchronous completions: ReadAsync / Batch.ExecuteAsync still execute
+//     every verb against the target at post time (memory effects, HTM aborts
+//     and NIC queueing are byte-for-byte those of the synchronous verbs) but
+//     defer the requester's latency charge to a Completion, so a coroutine
+//     scheduler can overlap round-trips of independent in-flight
+//     transactions; Completion.Wait charges each round-trip at most once.
 //
 // Failure injection: a NIC can be killed (fail-stop). Verbs against a dead
 // NIC return ErrNodeDead after a timeout; the machine's memory is preserved,
@@ -217,22 +223,67 @@ func (nic *NIC) Revive() { nic.alive.Store(true) }
 // the wire bytes on both endpoint NICs' bandwidth resources. Saturation
 // shows up as NIC completion times running ahead of worker clocks.
 func charge(clk *sim.Clock, src, dst *NIC, base time.Duration, bytes int) {
-	clk.Advance(base)
+	clk.AdvanceTo(chargeAsync(clk, src, dst, base, bytes))
+}
+
+// chargeAsync computes the virtual completion time of one verb issued now
+// WITHOUT advancing the worker's clock. The cost model is identical to
+// charge — base round-trip latency, then wire serialization queued on both
+// endpoint NICs at the post-latency instant — but the clock advance is
+// deferred to Completion.Wait, so a worker that multiplexes coroutines can
+// overlap the round-trip with other transactions' work and pay it at most
+// once. NIC queueing (Resource.Use) is still booked per verb at post time:
+// overlap hides latency, never wire bytes.
+func chargeAsync(clk *sim.Clock, src, dst *NIC, base time.Duration, bytes int) int64 {
+	t := clk.Now() + int64(base)
+	end := t
 	wire := int64(bytes) + 64 // 64B of headers per verb
-	bw := src.net.cfg.NICBytesPerSec
-	if bw > 0 {
+	if bw := src.net.cfg.NICBytesPerSec; bw > 0 {
 		ser := time.Duration(wire * int64(time.Second) / bw)
-		end := src.wire.Use(clk.Now(), ser)
+		if e := src.wire.Use(t, ser); e > end {
+			end = e
+		}
 		if dst != src {
-			end2 := dst.wire.Use(clk.Now(), ser)
-			if end2 > end {
-				end = end2
+			if e := dst.wire.Use(t, ser); e > end {
+				end = e
 			}
 		}
-		clk.AdvanceTo(end)
 	}
 	src.stats.BytesOut.Add(uint64(wire))
 	dst.stats.BytesIn.Add(uint64(wire))
+	return end
+}
+
+// Completion is the requester-side handle of asynchronously issued verbs —
+// a single verb (ReadAsync) or a whole doorbell batch (Batch.ExecuteAsync).
+// The verbs themselves have already executed against the target at post
+// time: memory effects, HTM strong-atomicity aborts and NIC byte/queueing
+// accounting are all done. Only the requester's latency charge is deferred;
+// Wait settles it.
+type Completion struct {
+	clk *sim.Clock
+	end int64
+	err error
+}
+
+// End returns the virtual completion time of the slowest verb in the
+// completion.
+func (c *Completion) End() int64 { return c.end }
+
+// Err returns the first per-verb error without settling the latency charge.
+func (c *Completion) Err() error { return c.err }
+
+// Wait advances the issuing worker's clock to max(now, completion time) and
+// returns the first per-verb error. A worker that ran other coroutines'
+// transactions while the verbs were in flight pays only the portion of the
+// round-trip not already covered — overlapped round-trips are charged once.
+// Wait is idempotent; waiting on a nil Completion is a no-op.
+func (c *Completion) Wait() error {
+	if c == nil {
+		return nil
+	}
+	c.clk.WaitUntil(c.end)
+	return c.err
 }
 
 // QP is a queue pair: the issuing endpoint for verbs from one node to
@@ -262,6 +313,23 @@ func (qp *QP) Read(off uint64, n int, buf []byte) ([]byte, error) {
 	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Read, n)
 	qp.remote.stats.Reads.Add(1)
 	return qp.remote.eng.ReadNonTx(off, n, buf), nil
+}
+
+// ReadAsync issues the same one-sided READ as Read without blocking the
+// worker: the read executes against the target immediately (in issue order,
+// with the same per-cacheline atomicity and strong-atomicity HTM aborts),
+// and the returned Completion carries the virtual completion time — call
+// Wait to settle the latency charge. ReadAsync followed by an immediate
+// Wait is accounting-identical to Read. On a dead target the data is nil
+// and the Completion reports ErrNodeDead with nothing charged, matching
+// Read's error path.
+func (qp *QP) ReadAsync(off uint64, n int, buf []byte) ([]byte, *Completion) {
+	if !qp.remote.alive.Load() {
+		return nil, &Completion{clk: qp.clk, end: qp.clk.Now(), err: ErrNodeDead}
+	}
+	end := chargeAsync(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Read, n)
+	qp.remote.stats.Reads.Add(1)
+	return qp.remote.eng.ReadNonTx(off, n, buf), &Completion{clk: qp.clk, end: end}
 }
 
 // Write performs a one-sided RDMA WRITE, atomic per cacheline: a write

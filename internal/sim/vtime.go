@@ -54,6 +54,23 @@ func (c *Clock) AdvanceTo(t int64) {
 // Now returns the current virtual time in nanoseconds.
 func (c *Clock) Now() int64 { return c.ns.Load() }
 
+// WaitUntil advances the clock to t and reports how far it actually moved:
+// the portion of a fabric round-trip that was NOT hidden behind other work
+// this worker performed while the round-trip was in flight. This is the
+// virtual-time overlap rule for asynchronous verbs: a completion waited on
+// by a worker whose clock has already passed t costs nothing (the latency
+// was fully overlapped and is charged at most once), while shared-resource
+// queueing (Resource.Use) still accumulates per verb, so overlap can hide
+// latency but can never compress wire bytes.
+func (c *Clock) WaitUntil(t int64) (stalled int64) {
+	now := c.ns.Load()
+	if t <= now {
+		return 0
+	}
+	c.AdvanceTo(t)
+	return t - now
+}
+
 // Reset zeroes the clock.
 func (c *Clock) Reset() { c.ns.Store(0) }
 

@@ -346,7 +346,6 @@ func (tx *Txn) validateRemote() error {
 // escalate to the fallback handler.
 func (tx *Txn) localHTMCommit() error {
 	w := tx.w
-	eng := w.E.M.Eng
 	nLocal := 0
 	for i := range tx.rs {
 		if tx.rs[i].local {
@@ -363,12 +362,9 @@ func (tx *Txn) localHTMCommit() error {
 	}
 	for attempt := 0; attempt < htmRetries; attempt++ {
 		w.Clk.Advance(w.E.Costs.HTMRegion + time.Duration(nLocal)*w.E.Costs.PerValidate)
-		htx := eng.Begin()
-		err := tx.localCommitBody(htx)
+		err := tx.localHTMAttempt()
 		if err == nil {
-			if err = htx.Commit(); err == nil {
-				return nil
-			}
+			return nil
 		}
 		var ae *htm.AbortError
 		if errors.As(err, &ae) && ae.Cause == htm.CauseExplicit {
@@ -382,6 +378,20 @@ func (tx *Txn) localHTMCommit() error {
 		w.backoff(attempt)
 	}
 	return tx.abort(AbortHTM, "commit HTM region exhausted retries")
+}
+
+// localHTMAttempt is one C.3+C.4 HTM region attempt, bracketed with
+// htmBegin/htmEnd so the coroutine scheduler can assert that the region
+// never spans a yield point.
+func (tx *Txn) localHTMAttempt() error {
+	w := tx.w
+	w.htmBegin()
+	defer w.htmEnd()
+	htx := w.E.M.Eng.Begin()
+	if err := tx.localCommitBody(htx); err != nil {
+		return err
+	}
+	return htx.Commit()
 }
 
 // localCommitBody is the code inside the commit HTM region.
@@ -603,7 +613,6 @@ func (tx *Txn) logRecords() []oplog.Rec {
 // flipped in its own small HTM region for atomicity against local readers.
 func (tx *Txn) makeupLocal() {
 	w := tx.w
-	eng := w.E.M.Eng
 	for i := range tx.ws {
 		e := &tx.ws[i]
 		if !e.local || e.kind == wsDelete || e.off == 0 {
@@ -613,26 +622,36 @@ func (tx *Txn) makeupLocal() {
 			if attempt > 0 {
 				w.backoff(attempt)
 			}
-			htx := eng.Begin()
-			cur, err := htx.Load64(e.off + memstore.SeqOff)
-			if err != nil {
-				continue
-			}
-			if cur >= e.finSeq {
-				htx.Commit() // already advanced (log applier raced us)
-				break
-			}
-			if err := htx.Store64(e.off+memstore.SeqOff, e.finSeq); err != nil {
-				continue
-			}
-			if err := tx.stampVersions(htx, e.off, e.table, e.finSeq); err != nil {
-				continue
-			}
-			if htx.Commit() == nil {
+			if tx.makeupAttempt(e) {
 				break
 			}
 		}
 	}
+}
+
+// makeupAttempt is one R.2 seq-flip inside its own HTM region, bracketed
+// with htmBegin/htmEnd for the scheduler's no-yield-in-region assertion.
+// It reports whether the record has settled at its final sequence number.
+func (tx *Txn) makeupAttempt(e *wsEntry) bool {
+	w := tx.w
+	w.htmBegin()
+	defer w.htmEnd()
+	htx := w.E.M.Eng.Begin()
+	cur, err := htx.Load64(e.off + memstore.SeqOff)
+	if err != nil {
+		return false
+	}
+	if cur >= e.finSeq {
+		htx.Commit() // already advanced (log applier raced us)
+		return true
+	}
+	if err := htx.Store64(e.off+memstore.SeqOff, e.finSeq); err != nil {
+		return false
+	}
+	if err := tx.stampVersions(htx, e.off, e.table, e.finSeq); err != nil {
+		return false
+	}
+	return htx.Commit() == nil
 }
 
 // stampVersions writes low16(seq) into each per-line version slot of the

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"fmt"
 	"testing"
 
 	"drtmr/internal/htm"
@@ -13,13 +14,20 @@ var remoteKeys8 = []uint64{1, 2, 4, 5, 7, 8, 10, 11}
 // runEightRemoteTransfer reads and rewrites all eight remote keys in one
 // distributed transaction.
 func runEightRemoteTransfer(w *Worker) error {
+	return runEightRemoteTransferAt(w, 0)
+}
+
+// runEightRemoteTransferAt is runEightRemoteTransfer on keys shifted by
+// base. Shifts that are multiples of 12 preserve every key's shard residue
+// (mod 3), so coroutine slots can work disjoint all-remote key sets.
+func runEightRemoteTransferAt(w *Worker, base uint64) error {
 	return w.Run(func(tx *Txn) error {
 		for _, k := range remoteKeys8 {
-			v, err := tx.Read(tblAcct, k)
+			v, err := tx.Read(tblAcct, base+k)
 			if err != nil {
 				return err
 			}
-			if err := tx.Write(tblAcct, k, encBal(decBal(v)+1)); err != nil {
+			if err := tx.Write(tblAcct, base+k, encBal(decBal(v)+1)); err != nil {
 				return err
 			}
 		}
@@ -102,6 +110,47 @@ func BenchmarkCommitVerbLatency(b *testing.B) {
 	}{{"batched", false}, {"sequential", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			vns := commitVirtualNanos(b, mode.disable, b.N)
+			b.ReportMetric(vns, "virtual-ns/commit")
+			b.ReportMetric(0, "ns/op") // wall time is meaningless here
+		})
+	}
+}
+
+// coroCommitVirtualNanos measures virtual nanoseconds per commit of the
+// 8-remote-record transaction with ncoro coroutine contexts in flight on
+// ONE worker, each slot transacting on a disjoint all-remote key set (base
+// offset 12*slot keeps shard residues). ncoro=1 is byte-identical to
+// commitVirtualNanos(tb, false, iters).
+func coroCommitVirtualNanos(tb testing.TB, ncoro, itersPerCoro int) float64 {
+	w := newWorld(tb, 3, 1, htm.Config{})
+	w.load(tb, 12*ncoro, 1000)
+	wk := w.engines[0].NewWorker(0)
+	start := wk.Clk.Now()
+	wk.RunCoroutines(ncoro, func(slot int) {
+		base := uint64(12 * slot)
+		for i := 0; i < itersPerCoro; i++ {
+			if err := runEightRemoteTransferAt(wk, base); err != nil {
+				tb.Error(err)
+				return
+			}
+		}
+	})
+	total := uint64(ncoro * itersPerCoro)
+	if wk.Stats.Committed != total {
+		tb.Errorf("committed %d of %d", wk.Stats.Committed, total)
+	}
+	return float64(wk.Clk.Now()-start) / float64(total)
+}
+
+// BenchmarkCoroutineOverlap reports virtual-time commit latency of the same
+// 8-remote-record transaction with N in-flight coroutines per worker. The
+// coros=1 row must match BenchmarkCommitVerbLatency/batched exactly (pure
+// refactor); larger N divides the stall portion of each doorbell across the
+// in-flight transactions (BENCH_coroutine_overlap.json).
+func BenchmarkCoroutineOverlap(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("coros=%d", n), func(b *testing.B) {
+			vns := coroCommitVirtualNanos(b, n, b.N)
 			b.ReportMetric(vns, "virtual-ns/commit")
 			b.ReportMetric(0, "ns/op") // wall time is meaningless here
 		})

@@ -133,28 +133,43 @@ type Engine struct {
 	// round-trips (the pre-batching sequential accounting), so experiments
 	// can measure exactly what batching buys.
 	DisableVerbBatching bool
+	// CoroutinesPerWorker is the number of logical transaction contexts a
+	// worker multiplexes when driven through Worker.RunCoroutines: at every
+	// RDMA doorbell the running transaction yields so another in-flight one
+	// executes during the fabric round-trip (the coroutine technique of the
+	// FaRM lineage). 1 disables overlap and reproduces the
+	// one-transaction-per-thread behaviour exactly (the ablation baseline).
+	CoroutinesPerWorker int
 
 	locCache *locCache
 }
+
+// DefaultCoroutinesPerWorker is the default number of in-flight transaction
+// contexts per worker thread.
+const DefaultCoroutinesPerWorker = 4
 
 // NewEngine builds the transaction layer for machine m. It registers the
 // insert/delete RPC handlers (§4.3: inserts and deletes ship to the host
 // machine over SEND/RECV).
 func NewEngine(m *cluster.Machine, part Partitioner, costs CostModel) *Engine {
 	e := &Engine{
-		M:          m,
-		Part:       part,
-		Costs:      costs,
-		Replicas:   m.Cluster().Spec.Replicas,
-		Replicated: m.Cluster().Spec.Replicas > 1,
-		locCache:   newLocCache(),
+		M:                   m,
+		Part:                part,
+		Costs:               costs,
+		Replicas:            m.Cluster().Spec.Replicas,
+		Replicated:          m.Cluster().Spec.Replicas > 1,
+		CoroutinesPerWorker: DefaultCoroutinesPerWorker,
+		locCache:            newLocCache(),
 	}
 	e.registerRPC()
 	return e
 }
 
 // Worker is one worker thread: it owns a virtual clock, QPs to every peer,
-// and transaction statistics. Workers are not safe for concurrent use.
+// and transaction statistics. Workers are not safe for concurrent use; the
+// coroutine scheduler (RunCoroutines, sched.go) multiplexes logical
+// transaction contexts on a worker with strict handoff, so exactly one
+// context touches the worker at any instant.
 type Worker struct {
 	E   *Engine
 	ID  int
@@ -163,6 +178,14 @@ type Worker struct {
 
 	qps     []*rdma.QP
 	nextTxn uint64
+
+	// Coroutine scheduler state (sched.go). cur is the running coroutine
+	// (nil when the worker runs a single transaction the classic way);
+	// htmDepth counts open commit-protocol HTM regions so yield can assert
+	// that no region ever spans a scheduling point.
+	sched    *scheduler
+	cur      *coro
+	htmDepth int
 
 	Stats Stats
 }
@@ -219,6 +242,17 @@ type Stats struct {
 	Fallbacks uint64
 	Retries   uint64
 	Phases    [NumPhases]PhaseStat
+
+	// Coroutine overlap counters (all zero when CoroutinesPerWorker <= 1).
+	// For every awaited doorbell: OverlapNanos is the share of the fabric
+	// round-trip hidden behind other coroutines' work, StallNanos the share
+	// the worker still had to wait out. Yields counts scheduling points
+	// taken; MaxInFlight is the peak number of parked in-flight
+	// transactions observed on this worker.
+	CoYields       uint64
+	CoOverlapNanos uint64
+	CoStallNanos   uint64
+	CoMaxInFlight  uint64
 }
 
 // AbortsTotal sums all abort reasons.
@@ -236,6 +270,17 @@ func (s *Stats) AddPhases(o *Stats) {
 		s.Phases[i].Verbs += o.Phases[i].Verbs
 		s.Phases[i].Batches += o.Phases[i].Batches
 		s.Phases[i].Nanos += o.Phases[i].Nanos
+	}
+}
+
+// AddOverlap accumulates another worker's coroutine overlap counters
+// (harness roll-up; MaxInFlight takes the max, the rest sum).
+func (s *Stats) AddOverlap(o *Stats) {
+	s.CoYields += o.CoYields
+	s.CoOverlapNanos += o.CoOverlapNanos
+	s.CoStallNanos += o.CoStallNanos
+	if o.CoMaxInFlight > s.CoMaxInFlight {
+		s.CoMaxInFlight = o.CoMaxInFlight
 	}
 }
 
@@ -265,14 +310,17 @@ func (w *Worker) newBatch() *rdma.Batch {
 
 // execBatch rings the doorbell on b and charges its verbs, doorbell and
 // virtual latency to the given commit phase's counters. Empty batches cost
-// (and count) nothing.
+// (and count) nothing. Under the coroutine scheduler the doorbell is a
+// yield point: other in-flight transactions run during the round-trip and
+// Nanos records elapsed virtual time at this doorbell (identical to the
+// synchronous charge when nothing overlaps).
 func (w *Worker) execBatch(phase CommitPhase, b *rdma.Batch) error {
 	n := b.Len()
 	if n == 0 {
 		return nil
 	}
 	start := w.Clk.Now()
-	err := b.Execute()
+	err := w.await(b.ExecuteAsync())
 	ps := &w.Stats.Phases[phase]
 	ps.Batches++
 	ps.Verbs += uint64(n)
@@ -281,17 +329,11 @@ func (w *Worker) execBatch(phase CommitPhase, b *rdma.Batch) error {
 }
 
 func (w *Worker) backoff(attempt int) {
-	max := 1 << uint(min(attempt, 8))
-	d := time.Duration(1+w.rng.Intn(max)) * w.E.Costs.Backoff
+	maxExp := 1 << uint(min(attempt, 8))
+	d := time.Duration(1+w.rng.Intn(maxExp)) * w.E.Costs.Backoff
 	w.Clk.Advance(d)
+	w.yield()   // let another in-flight transaction (maybe the lock holder) run
 	sim.Spin(0) // scheduling point so contenders interleave
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Run executes fn as a transaction with automatic retry on aborts. fn may be

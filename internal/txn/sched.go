@@ -1,0 +1,141 @@
+package txn
+
+import (
+	"drtmr/internal/rdma"
+)
+
+// Cooperative coroutine scheduler.
+//
+// A real DrTM+R-class worker thread does not sit idle for the fabric
+// round-trip at every doorbell: it multiplexes several in-flight
+// transactions with cheap coroutines (the FaRM-lineage technique; see the
+// RDMA concurrency-control framework survey), switching to another
+// transaction whenever one posts verbs and resuming it when the completion
+// arrives. RunCoroutines models exactly that on one simulated worker:
+//
+//   - Each of the N logical transaction contexts is a goroutine, but the
+//     scheduler enforces STRICT HANDOFF — exactly one context runs at any
+//     instant, and control passes only at explicit yield points — so all
+//     worker state (clock, stats, QPs, rng) stays single-threaded and the
+//     interleaving is cooperative, like userspace coroutines on one core.
+//   - The yield points are the RDMA doorbells (Worker.await) and retry
+//     backoffs. Lock words held across a yield are fine — they are real
+//     protocol state, exactly as when two independent worker threads
+//     contend. HTM regions must NEVER span a yield: speculative hardware
+//     state does not survive a context switch, so yield asserts htmDepth
+//     is zero (see htmBegin/htmEnd).
+//   - Virtual-time accounting: a doorbell's Completion carries its fabric
+//     completion time; await parks the posting context, lets others run,
+//     and on resume advances the clock only by the portion of the
+//     round-trip not already covered (sim.Clock.WaitUntil). Overlapped
+//     round-trips are charged once, while NIC queueing still accumulates
+//     per verb — overlap hides latency, never bytes.
+//
+// N = 1 bypasses the scheduler entirely and runs fn(0) inline: byte-for-
+// byte the one-transaction-per-thread behaviour, kept as the ablation
+// baseline (Engine.CoroutinesPerWorker = 1).
+
+// coro is one logical transaction context multiplexed on a worker.
+type coro struct {
+	slot   int
+	resume chan struct{}
+	done   bool
+}
+
+// scheduler owns a worker's run queue while RunCoroutines is active.
+type scheduler struct {
+	park     chan *coro // running coroutine hands itself back here
+	inFlight int        // parked contexts with an outstanding round-trip
+}
+
+// RunCoroutines multiplexes fn over n cooperative transaction contexts on
+// this worker; fn(slot) typically loops issuing transactions via Run. It
+// returns when every context's fn has returned. n <= 1 calls fn(0) inline
+// with no scheduler — the exact classic behaviour.
+func (w *Worker) RunCoroutines(n int, fn func(slot int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	if w.cur != nil {
+		panic("txn: nested RunCoroutines on one worker")
+	}
+	s := &scheduler{park: make(chan *coro)}
+	w.sched = s
+	runq := make([]*coro, 0, n)
+	for i := 0; i < n; i++ {
+		c := &coro{slot: i, resume: make(chan struct{})}
+		runq = append(runq, c)
+		go func() {
+			<-c.resume
+			fn(c.slot)
+			c.done = true
+			s.park <- c
+		}()
+	}
+	// Round-robin dispatch with strict handoff: resume one context, then
+	// block until it parks itself (at a yield point or by finishing).
+	for live := n; live > 0; {
+		c := runq[0]
+		runq = runq[1:]
+		w.cur = c
+		c.resume <- struct{}{}
+		<-s.park
+		if c.done {
+			live--
+		} else {
+			runq = append(runq, c)
+		}
+	}
+	w.cur = nil
+	w.sched = nil
+}
+
+// yield parks the running coroutine and hands the worker to the next ready
+// one; a no-op without a scheduler. Yielding inside an HTM region is a
+// protocol bug — speculative state cannot survive a context switch — so the
+// scheduler asserts against it.
+func (w *Worker) yield() {
+	c := w.cur
+	if c == nil {
+		return
+	}
+	if w.htmDepth > 0 {
+		panic("txn: coroutine yielded inside an HTM region")
+	}
+	s := w.sched
+	s.inFlight++
+	if uint64(s.inFlight) > w.Stats.CoMaxInFlight {
+		w.Stats.CoMaxInFlight = uint64(s.inFlight)
+	}
+	s.park <- c
+	<-c.resume
+	w.sched.inFlight--
+}
+
+// await settles an asynchronous doorbell: under the scheduler it yields so
+// other in-flight transactions run during the fabric round-trip, then
+// charges only the uncovered remainder; without a scheduler it degenerates
+// to Completion.Wait — the exact synchronous accounting.
+func (w *Worker) await(c *rdma.Completion) error {
+	if w.cur == nil {
+		return c.Wait()
+	}
+	issued := w.Clk.Now()
+	w.yield()
+	stalled := w.Clk.WaitUntil(c.End())
+	w.Stats.CoYields++
+	if flight := c.End() - issued; flight > 0 {
+		w.Stats.CoStallNanos += uint64(stalled)
+		if hidden := flight - stalled; hidden > 0 {
+			w.Stats.CoOverlapNanos += uint64(hidden)
+		}
+	}
+	return c.Err()
+}
+
+// htmBegin/htmEnd bracket a commit-protocol HTM region on this worker so
+// the coroutine scheduler can assert that no region ever spans a yield
+// point.
+func (w *Worker) htmBegin() { w.htmDepth++ }
+func (w *Worker) htmEnd()   { w.htmDepth-- }

@@ -248,38 +248,54 @@ func (tx *Txn) localRead(table memstore.TableID, key uint64) (rsEntry, error) {
 	if !ok {
 		return rsEntry{}, ErrNotFound
 	}
-	eng := tx.w.E.M.Eng
 	var img []byte
 	for attempt := 0; attempt < 256; attempt++ {
 		tx.w.Clk.Advance(tx.w.E.Costs.LocalAccess)
-		htx := eng.Begin()
-		lockW, err := htx.Load64(off + memstore.LockOff)
-		if err != nil {
-			tx.w.backoff(attempt)
-			continue
+		var (
+			lockW uint64
+			ok    bool
+		)
+		img, lockW, ok = tx.localReadAttempt(off, tbl, img)
+		if ok {
+			return rsEntry{
+				table: table, key: key, off: off, local: true,
+				seq: memstore.RecSeq(img), inc: memstore.RecInc(img),
+				val: memstore.GatherValue(img, tbl.Spec.ValueSize),
+			}, nil
 		}
 		if lockW != 0 {
-			htx.Abort(abortCodeLocked)
 			tx.w.maybeReleaseDangling(tx.cfg, tx.w.E.M.ID, off, lockW)
-			tx.w.backoff(attempt)
-			continue
 		}
-		img, err = htx.Read(off, tbl.RecBytes, img)
-		if err != nil {
-			tx.w.backoff(attempt)
-			continue
-		}
-		if err := htx.Commit(); err != nil {
-			tx.w.backoff(attempt)
-			continue
-		}
-		return rsEntry{
-			table: table, key: key, off: off, local: true,
-			seq: memstore.RecSeq(img), inc: memstore.RecInc(img),
-			val: memstore.GatherValue(img, tbl.Spec.ValueSize),
-		}, nil
+		tx.w.backoff(attempt)
 	}
 	return rsEntry{}, tx.abort(AbortLocked, "local record %d/%d stayed locked", table, key)
+}
+
+// localReadAttempt is one HTM-protected snapshot attempt (Fig 5). The whole
+// region is bracketed with htmBegin/htmEnd so the coroutine scheduler can
+// assert that no yield point is ever reached while the region is open.
+// lockW is non-zero when the attempt manually aborted on a locked record.
+func (tx *Txn) localReadAttempt(off uint64, tbl *memstore.Table, buf []byte) (img []byte, lockW uint64, ok bool) {
+	w := tx.w
+	w.htmBegin()
+	defer w.htmEnd()
+	htx := w.E.M.Eng.Begin()
+	lockW, err := htx.Load64(off + memstore.LockOff)
+	if err != nil {
+		return buf, 0, false
+	}
+	if lockW != 0 {
+		htx.Abort(abortCodeLocked)
+		return buf, lockW, false
+	}
+	img, err = htx.Read(off, tbl.RecBytes, buf)
+	if err != nil {
+		return img, 0, false
+	}
+	if err := htx.Commit(); err != nil {
+		return img, 0, false
+	}
+	return img, 0, true
 }
 
 // remoteRead performs a lock-free consistent read of a remote record with
@@ -313,9 +329,11 @@ func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, 
 	}
 	var img []byte
 	for attempt := 0; attempt < 256; attempt++ {
-		var err error
-		img, err = qp.Read(loc.off, tbl.RecBytes, img)
-		if err != nil {
+		// The record fetch is a full fabric round-trip: issue it async and
+		// yield so other in-flight transactions run while it is outstanding.
+		var comp *rdma.Completion
+		img, comp = qp.ReadAsync(loc.off, tbl.RecBytes, img)
+		if err := tx.w.await(comp); err != nil {
 			return rsEntry{}, tx.abort(AbortNodeDead, "read %v", err)
 		}
 		if !memstore.VersionsConsistent(img) {
@@ -357,8 +375,8 @@ func (w *Worker) remoteLookup(qp *rdma.QP, tbl *memstore.Table, key uint64) (loc
 	bucketOff := memstore.BucketOffFor(h.Base(), h.NumBuckets(), key)
 	var img [64]byte
 	for bucketOff != 0 {
-		b, err := qp.Read(bucketOff, 64, img[:])
-		if err != nil {
+		b, comp := qp.ReadAsync(bucketOff, 64, img[:])
+		if err := w.await(comp); err != nil {
 			return locVal{}, &Error{Reason: AbortNodeDead, Detail: err.Error()}
 		}
 		packed, next, found := memstore.ParseBucket(b, key)

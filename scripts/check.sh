@@ -10,3 +10,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Smoke-run every benchmark once: the figure benchmarks drive the full
+# harness (including the coroutine-overlap sweep), so this catches
+# experiment-path regressions that unit tests miss.
+go test -run '^$' -bench . -benchtime 1x ./...
