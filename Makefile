@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet race check bench bench-smoke
+.PHONY: all help build test vet race check bench bench-smoke trace
 
 all: check
 
@@ -12,7 +12,8 @@ help:
 	@echo "  race         full test suite under -race"
 	@echo "  check        CI gate: build + vet + race + smoke benchmarks"
 	@echo "  bench        all benchmarks (smoke scale)"
-	@echo "  bench-smoke  every benchmark once (experiment-path smoke test)"
+	@echo "  bench-smoke  every benchmark once + emit/validate a trace JSON"
+	@echo "  trace        traced SmallBank run -> trace.json (Perfetto/Chrome)"
 	@echo ""
 	@echo "Knobs:"
 	@echo "  Engine.CoroutinesPerWorker / harness Options.CoroutinesPerWorker:"
@@ -20,6 +21,12 @@ help:
 	@echo "    1 = classic one-transaction-per-thread ablation; sweep with"
 	@echo "    'go run ./cmd/drtmr-bench -fig coro' or BenchmarkCoroutineOverlap."
 	@echo "  Engine.DisableVerbBatching: per-verb latency accounting ablation."
+	@echo "  Observability (internal/obs, see DESIGN.md):"
+	@echo "    drtmr-bench -trace out.json       per-worker event trace (open at"
+	@echo "                                      https://ui.perfetto.dev)"
+	@echo "    drtmr-bench -fig lat              latency-percentile CDF table"
+	@echo "    drtmr-bench -fig 20 -trace r.json recovery milestones as a trace"
+	@echo "    Worker.EnableTrace / Options.Trace enable recording in code."
 
 build:
 	$(GO) build ./...
@@ -42,5 +49,13 @@ check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
+# bench-smoke additionally emits a smoke-scale trace and validates it (the
+# -trace path re-reads the written file and checks well-formed JSON, known
+# event phases and per-track monotone timestamps before reporting success).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/drtmr-bench -smoke -trace smoke-trace.json
+	@rm -f smoke-trace.json
+
+trace:
+	$(GO) run ./cmd/drtmr-bench -trace trace.json

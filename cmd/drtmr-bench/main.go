@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	drtmr-bench -fig 10          # Fig 10: TPC-C vs machines, all systems
-//	drtmr-bench -fig 16 -smoke   # quick, scaled-down run
-//	drtmr-bench -fig 20          # recovery timeline (wall clock)
+//	drtmr-bench -fig 10             # Fig 10: TPC-C vs machines, all systems
+//	drtmr-bench -fig 16 -smoke      # quick, scaled-down run
+//	drtmr-bench -fig 20             # recovery timeline (wall clock)
 //	drtmr-bench -fig all
+//	drtmr-bench -trace out.json     # traced SmallBank run, Perfetto JSON
+//	drtmr-bench -fig 20 -trace r.json  # recovery milestones as a trace
+//
+// -trace writes a Chrome trace-event file: open it at https://ui.perfetto.dev
+// (or chrome://tracing). Without -fig it runs a dedicated traced SmallBank
+// experiment; with -fig 20 it exports the recovery run's milestone track.
 package main
 
 import (
@@ -18,11 +24,13 @@ import (
 	"time"
 
 	"drtmr/internal/bench/harness"
+	"drtmr/internal/obs"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), or "all"`)
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this path (traced SmallBank run, or the recovery milestones with -fig 20)")
 	flag.Parse()
 
 	scale := harness.Full
@@ -43,8 +51,9 @@ func main() {
 		"6t":   harness.Table6,
 		"silo": harness.SiloComparison,
 		"coro": harness.FigCoroutineOverlap,
+		"lat":  harness.FigLatencyCDF,
 	}
-	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro"}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat"}
 
 	runOne := func(name string) {
 		if name == "20" {
@@ -54,6 +63,9 @@ func main() {
 			}
 			tl := harness.RunRecovery(3, 2, runFor, 0)
 			tl.Fprint(os.Stdout)
+			if *traceOut != "" {
+				writeTrace(*traceOut, []*obs.Recorder{tl.Trace})
+			}
 			return
 		}
 		fn, ok := figs[name]
@@ -67,6 +79,10 @@ func main() {
 		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	if *traceOut != "" && *fig != "20" {
+		runTraced(*traceOut, *smoke)
+		return
+	}
 	if *fig == "all" {
 		for _, name := range order {
 			runOne(name)
@@ -75,4 +91,73 @@ func main() {
 		return
 	}
 	runOne(*fig)
+}
+
+// runTraced runs one SmallBank experiment with per-worker tracing on and
+// exports every worker's event ring as a Chrome trace.
+func runTraced(path string, smoke bool) {
+	o := harness.Options{
+		System:              harness.SysDrTMR,
+		Workload:            harness.WLSmallBank,
+		SBRemoteProb:        0.10,
+		CoroutinesPerWorker: 2,
+		Trace:               true,
+	}
+	if smoke {
+		o.Nodes, o.ThreadsPerNode, o.TxPerWorker = 3, 2, 60
+		o.SBAccountsPerNode = 1000
+	}
+	r := harness.Run(o)
+	fmt.Printf("%v\n", r)
+	if s := r.AbortSummary(5); s != "" {
+		fmt.Printf("top aborts: %s\n", s)
+	}
+	writeTrace(path, r.Trace)
+}
+
+// writeTrace exports recorders as Chrome trace-event JSON, then re-reads and
+// validates the file so a truncated or malformed trace fails loudly here
+// rather than in the Perfetto UI.
+func writeTrace(path string, recs []*obs.Recorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteTrace(f, recs, harness.TraceNames()); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	cats, err := obs.ValidateTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: written file failed validation: %v\n", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, n := range cats {
+		total += n
+	}
+	fmt.Printf("wrote %s: %d events (", path, total)
+	first := true
+	for _, c := range []string{"txn", "phase", "htm", "doorbell", "sched", "milestone"} {
+		if cats[c] == 0 {
+			continue
+		}
+		if !first {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d", c, cats[c])
+		first = false
+	}
+	fmt.Println("); open at https://ui.perfetto.dev")
 }

@@ -1,11 +1,13 @@
 package drtmr_test
 
 import (
+	"bytes"
 	"os"
 	"testing"
 	"time"
 
 	"drtmr/internal/bench/harness"
+	"drtmr/internal/obs"
 )
 
 // TestFig20_RecoveryTimeline reproduces Fig 20: kill one machine of a
@@ -42,5 +44,49 @@ func TestFig20_RecoveryTimeline(t *testing.T) {
 	}
 	if tl.PostFailPct < 20 {
 		t.Errorf("throughput regained only %.0f%% of pre-failure", tl.PostFailPct)
+	}
+
+	// The milestones above were extracted from the obs recorder (the old
+	// ad-hoc string channel now only triggers worker revival); check the
+	// recorder indeed carries the full kill → suspect → config-commit →
+	// recovery-done sequence in order, and that it exports as a valid
+	// Chrome trace.
+	if tl.Trace == nil {
+		t.Fatal("recovery timeline has no obs recorder")
+	}
+	seen := map[uint8]time.Time{}
+	for _, ev := range tl.Trace.Events() {
+		if ev.Kind != obs.EvMilestone {
+			continue
+		}
+		if _, dup := seen[ev.Detail]; !dup {
+			seen[ev.Detail] = time.Unix(0, ev.Start)
+		}
+	}
+	order := []uint8{obs.MilestoneKilled, obs.MilestoneSuspect,
+		obs.MilestoneConfigCommit, obs.MilestoneRecoveryDone}
+	for i, m := range order {
+		at, ok := seen[m]
+		if !ok {
+			t.Fatalf("milestone %q missing from obs recorder", obs.MilestoneName(m))
+		}
+		if i > 0 && at.Before(seen[order[i-1]]) {
+			t.Errorf("milestone %q at %v precedes %q at %v",
+				obs.MilestoneName(m), at, obs.MilestoneName(order[i-1]), seen[order[i-1]])
+		}
+	}
+	if got, want := seen[obs.MilestoneSuspect], tl.SuspectAt; !got.Equal(want) {
+		t.Errorf("SuspectAt %v != recorder milestone %v", want, got)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, []*obs.Recorder{tl.Trace}, harness.TraceNames()); err != nil {
+		t.Fatalf("trace export: %v", err)
+	}
+	cats, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid recovery trace: %v", err)
+	}
+	if cats["milestone"] < len(order) {
+		t.Errorf("recovery trace has %d milestone events, want >= %d", cats["milestone"], len(order))
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"drtmr/internal/bench/tpcc"
 	"drtmr/internal/cluster"
+	"drtmr/internal/obs"
 	"drtmr/internal/rdma"
 	"drtmr/internal/txn"
 )
@@ -442,7 +443,72 @@ func Table6(scale Scale) Table {
 		Row{XName: "new-order/s", Values: []float64{a.NewOrderTPS, b.NewOrderTPS, over}},
 		Row{XName: "latency us", Values: []float64{a.AvgLatencyUs, b.AvgLatencyUs,
 			(b.AvgLatencyUs/a.AvgLatencyUs - 1) * 100}},
+		Row{XName: "p50 us", Values: []float64{a.P50Us, b.P50Us,
+			(b.P50Us/a.P50Us - 1) * 100}},
+		Row{XName: "p99 us", Values: []float64{a.P99Us, b.P99Us,
+			(b.P99Us/a.P99Us - 1) * 100}},
 	)
+	if s := a.AbortSummary(3); s != "" {
+		t.Notes = append(t.Notes, "DrTM+R top aborts: "+s)
+	}
+	if s := b.AbortSummary(3); s != "" {
+		t.Notes = append(t.Notes, "DrTM+R/r=3 top aborts: "+s)
+	}
+	return t
+}
+
+// FigLatencyCDF — virtual commit-latency distribution (ours, not in the
+// paper): percentile sweep of DrTM+R latency at the default configuration
+// for SmallBank and TPC-C, from the per-type log-bucketed histograms the
+// harness now records (quantile resolution ≈3%; see internal/obs). Notes
+// carry the per-transaction-type p50/p99 split and the abort-attribution
+// summary.
+func FigLatencyCDF(scale Scale) Table {
+	t := Table{
+		Title:   "Latency CDF: DrTM+R virtual commit latency percentiles (default config)",
+		XLabel:  "percentile",
+		Columns: []string{"SmallBank us", "TPC-C us"},
+	}
+	nodes, threads := 6, 8
+	if scale == Smoke {
+		nodes, threads = 3, 2
+	}
+	run := func(wl Workload) Result {
+		return Run(Options{
+			System: SysDrTMR, Workload: wl,
+			Nodes: nodes, ThreadsPerNode: threads,
+			WarehousesPerNode: threads,
+			TxPerWorker:       scale.txPerWorker(),
+		})
+	}
+	sb, tc := run(WLSmallBank), run(WLTPCC)
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999} {
+		t.Rows = append(t.Rows, Row{
+			X:     q * 100,
+			XName: fmt.Sprintf("p%g", q*100),
+			Values: []float64{
+				sb.Lat.All().Quantile(q) / 1e3,
+				tc.Lat.All().Quantile(q) / 1e3,
+			},
+		})
+	}
+	for _, r := range []struct {
+		label string
+		res   Result
+	}{{"smallbank", sb}, {"tpcc", tc}} {
+		for i := range r.res.Lat.H {
+			h := &r.res.Lat.H[i]
+			if h.Count() == 0 {
+				continue
+			}
+			t.Notes = append(t.Notes, fmt.Sprintf("%s %s: n=%d p50=%.1fus p99=%.1fus",
+				r.label, r.res.Lat.Names[i], h.Count(),
+				h.Quantile(0.50)/1e3, h.Quantile(0.99)/1e3))
+		}
+		if s := r.res.AbortSummary(3); s != "" {
+			t.Notes = append(t.Notes, r.label+" top aborts: "+s)
+		}
+	}
 	return t
 }
 
@@ -488,6 +554,11 @@ type RecoveryTimeline struct {
 	PostFailPct  float64 // regained throughput as % of pre-failure
 	DetectNanos  int64
 	RecoverNanos int64
+
+	// Trace is the shared cluster recorder the milestones above were read
+	// from (obs.EvMilestone instants stamped with wall time); export with
+	// obs.WriteTrace for the Perfetto view of the failure window.
+	Trace *obs.Recorder
 }
 
 // RunRecovery executes the Fig 20 experiment. lease scales the paper's
@@ -531,10 +602,16 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 	for _, m := range c.Machines {
 		engines = append(engines, txn.NewEngine(m, wcfg.Partitioner(m.ID), txn.DefaultCosts()))
 	}
+	// Milestones flow through the obs subsystem: the cluster records every
+	// emit into a shared (mutex-guarded, Pid=-1 "cluster" track) recorder,
+	// and the timeline fields are extracted from it after the run. The
+	// legacy Events() channel below only triggers worker revival.
+	rec := obs.NewSharedRecorder(-1, 0, 256)
+	c.SetRecorder(rec)
 	c.Start()
 	defer c.Stop()
 
-	tl := RecoveryTimeline{BucketDur: runFor / 100, Start: time.Now(), Lease: lease}
+	tl := RecoveryTimeline{BucketDur: runFor / 100, Start: time.Now(), Lease: lease, Trace: rec}
 	var commitMu sync.Mutex
 	var commitTimes []time.Time
 	recordCommit := func(ts time.Time) {
@@ -575,33 +652,23 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 		}
 	}
 
-	// Milestone listener.
+	// Revival trigger: the only remaining consumer of the Events() channel
+	// (milestone TIMES come from the obs recorder post-run). On the first
+	// recovery-done, revive the failed instance's workload on the promoted
+	// machine (shares its NIC, as in the paper: "two instances ... sharing
+	// a single InfiniBand NIC").
 	go func() {
+		revived := false
 		for {
 			select {
 			case <-stop:
 				return
 			case ev := <-c.Events():
-				switch ev.Kind {
-				case "suspect":
-					if tl.SuspectAt.IsZero() {
-						tl.SuspectAt = ev.At
-					}
-				case "config-commit":
-					if tl.ConfigAt.IsZero() {
-						tl.ConfigAt = ev.At
-					}
-				case "recovery-done":
-					if tl.RecoveredAt.IsZero() {
-						tl.RecoveredAt = ev.At
-						// Revive the failed instance's workload on the
-						// promoted machine (shares its NIC, as in the
-						// paper: "two instances ... sharing a single
-						// InfiniBand NIC").
-						promoted := c.Coord.Current().PrimaryOf(cluster.ShardID(victim))
-						for t := 0; t < threads; t++ {
-							go startWorker(int(promoted), 100+t, uint64(900+t))
-						}
+				if ev.Kind == "recovery-done" && !revived {
+					revived = true
+					promoted := c.Coord.Current().PrimaryOf(cluster.ShardID(victim))
+					for t := 0; t < threads; t++ {
+						go startWorker(int(promoted), 100+t, uint64(900+t))
 					}
 				}
 			}
@@ -626,6 +693,28 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 		i := int(ts.Sub(tl.Start) / tl.BucketDur)
 		if i >= 0 && i < n {
 			tl.Buckets[i]++
+		}
+	}
+	// Extract milestone times from the obs recorder (first occurrence of
+	// each milestone wins; timestamps are wall-clock UnixNano).
+	for _, ev := range rec.Events() {
+		if ev.Kind != obs.EvMilestone {
+			continue
+		}
+		at := time.Unix(0, ev.Start)
+		switch ev.Detail {
+		case obs.MilestoneSuspect:
+			if tl.SuspectAt.IsZero() {
+				tl.SuspectAt = at
+			}
+		case obs.MilestoneConfigCommit:
+			if tl.ConfigAt.IsZero() {
+				tl.ConfigAt = at
+			}
+		case obs.MilestoneRecoveryDone:
+			if tl.RecoveredAt.IsZero() {
+				tl.RecoveredAt = at
+			}
 		}
 	}
 	if !tl.SuspectAt.IsZero() {

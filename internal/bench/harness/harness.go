@@ -17,6 +17,7 @@ import (
 	"drtmr/internal/bench/tpcc"
 	"drtmr/internal/cluster"
 	"drtmr/internal/htm"
+	"drtmr/internal/obs"
 	"drtmr/internal/rdma"
 	"drtmr/internal/txn"
 )
@@ -83,6 +84,15 @@ type Options struct {
 	// overlap). 0 keeps the engine default; 1 is the no-overlap ablation.
 	CoroutinesPerWorker int
 
+	// Trace enables per-worker event tracing (DrTM+R systems): each worker
+	// records txn/phase/HTM/doorbell/yield events into a preallocated ring
+	// and Result.Trace carries the recorders for obs.WriteTrace export.
+	Trace bool
+	// TraceEventsPerWorker sizes each worker's ring (0 = obs.DefaultCapacity).
+	// Rings overwrite oldest-first, so an undersized ring keeps the tail of
+	// the run rather than failing.
+	TraceEventsPerWorker int
+
 	HTM  htm.Config
 	Seed uint64
 }
@@ -134,6 +144,29 @@ type Result struct {
 	Fallbacks    uint64
 	AvgLatencyUs float64
 
+	// Virtual commit-latency percentiles from Lat (DrTM+R systems; zero
+	// when the run recorded no histogram). AvgLatencyUs is the histogram
+	// mean when Lat is present, the workers/throughput back-computation
+	// otherwise.
+	P50Us  float64
+	P90Us  float64
+	P99Us  float64
+	P999Us float64
+
+	// Lat holds the per-transaction-type virtual commit-latency histograms
+	// (including retries; successful transactions only), merged across all
+	// workers. Nil for baseline systems without the instrumented engine.
+	Lat *obs.TypedHist
+
+	// AbortMatrix attributes every abort to (reason, pipeline stage,
+	// responsible site) — the structured replacement for the flat abort
+	// counter. Always populated for DrTM+R systems, even without Trace.
+	AbortMatrix obs.AbortMatrix
+
+	// Trace carries each worker's event recorder when Options.Trace was
+	// set; export with obs.WriteTrace(w, r.Trace, TraceNames()).
+	Trace []*obs.Recorder
+
 	// Phases aggregates the commit pipeline's per-phase verb / doorbell /
 	// virtual-latency counters across all workers (DrTM+R systems only;
 	// see txn.CommitPhase). CommitBreakdown renders it.
@@ -182,12 +215,42 @@ func (r Result) CommitBreakdown() string {
 }
 
 func (r Result) String() string {
-	if r.Workload == WLTPCC {
-		return fmt.Sprintf("%-10s total=%9.0f txns/s  new-order=%9.0f txns/s  abort=%5.1f%%  lat=%6.1fus",
-			r.System, r.TotalTPS, r.NewOrderTPS, r.AbortRate*100, r.AvgLatencyUs)
+	lat := fmt.Sprintf("lat=%6.1fus", r.AvgLatencyUs)
+	if r.Lat != nil && r.Lat.All().Count() > 0 {
+		lat = fmt.Sprintf("lat=%6.1fus p50=%6.1fus p99=%6.1fus", r.AvgLatencyUs, r.P50Us, r.P99Us)
 	}
-	return fmt.Sprintf("%-10s total=%9.0f txns/s  abort=%5.1f%%  lat=%6.1fus",
-		r.System, r.TotalTPS, r.AbortRate*100, r.AvgLatencyUs)
+	if r.Workload == WLTPCC {
+		return fmt.Sprintf("%-10s total=%9.0f txns/s  new-order=%9.0f txns/s  abort=%5.1f%%  %s",
+			r.System, r.TotalTPS, r.NewOrderTPS, r.AbortRate*100, lat)
+	}
+	return fmt.Sprintf("%-10s total=%9.0f txns/s  abort=%5.1f%%  %s",
+		r.System, r.TotalTPS, r.AbortRate*100, lat)
+}
+
+// AbortSummary renders the top abort-attribution cells as
+// "reason@stage→nSITE:count" terms, worst first; empty when nothing aborted.
+func (r Result) AbortSummary(topN int) string {
+	return r.AbortMatrix.Summary(topN, abortReasonName, txn.StageName)
+}
+
+func abortReasonName(c uint8) string { return txn.AbortReason(c).String() }
+
+// TraceNames wires the transaction engine's stage/reason/HTM-cause namers
+// into the trace exporter; pass it to obs.WriteTrace for Result.Trace.
+func TraceNames() obs.TraceNames {
+	return obs.TraceNames{
+		Stage:  txn.StageName,
+		Reason: abortReasonName,
+		Cause:  func(c uint8) string { return htm.AbortCause(c).String() },
+	}
+}
+
+// typeNamesFor returns the workload's transaction-type names in TxType order.
+func typeNamesFor(w Workload) []string {
+	if w == WLTPCC {
+		return tpcc.TypeNames()
+	}
+	return smallbank.TypeNames()
 }
 
 // replicasFor maps the system to its replication degree.
@@ -323,6 +386,7 @@ func runDrTMR(o Options) Result {
 	}
 	c.Start()
 
+	typeNames := typeNamesFor(o.Workload)
 	var (
 		wg         sync.WaitGroup
 		mu         sync.Mutex
@@ -332,6 +396,9 @@ func runDrTMR(o Options) Result {
 		fallbacks  uint64
 		maxVirtual int64
 		phaseAgg   txn.Stats
+		latAgg     = obs.NewTypedHist(typeNames...)
+		abortAgg   obs.AbortMatrix
+		recorders  []*obs.Recorder
 	)
 	for n := 0; n < o.Nodes; n++ {
 		for t := 0; t < o.ThreadsPerNode; t++ {
@@ -339,6 +406,13 @@ func runDrTMR(o Options) Result {
 			go func(node, tid int) {
 				defer wg.Done()
 				w := engines[node].NewWorker(tid)
+				if o.Trace {
+					w.EnableTrace(o.TraceEventsPerWorker)
+				}
+				// Per-worker histogram of virtual commit latency (measured
+				// around each successful transaction, retries included),
+				// merged under the lock after the run.
+				lat := obs.NewTypedHist(typeNames...)
 				var localNO uint64
 				// The worker multiplexes its TxPerWorker budget over N
 				// coroutines (strict handoff keeps the shared countdown and
@@ -355,10 +429,12 @@ func runDrTMR(o Options) Result {
 					w.RunCoroutines(ncoro, func(int) {
 						for remaining > 0 {
 							remaining--
+							s := w.Clk.Now()
 							ty, err := ex.RunOne()
 							if err != nil {
 								continue
 							}
+							lat.Record(int(ty), w.Clk.Now()-s)
 							if ty == tpcc.TxNewOrder {
 								localNO++
 							}
@@ -370,7 +446,11 @@ func runDrTMR(o Options) Result {
 					w.RunCoroutines(ncoro, func(int) {
 						for remaining > 0 {
 							remaining--
-							_ = smallbank.Execute(w, g.Next())
+							p := g.Next()
+							s := w.Clk.Now()
+							if smallbank.Execute(w, p) == nil {
+								lat.Record(int(p.Type), w.Clk.Now()-s)
+							}
 						}
 					})
 				}
@@ -381,6 +461,11 @@ func runDrTMR(o Options) Result {
 				fallbacks += w.Stats.Fallbacks
 				phaseAgg.AddPhases(&w.Stats)
 				phaseAgg.AddOverlap(&w.Stats)
+				latAgg.Merge(lat)
+				abortAgg.Merge(&w.Stats.AbortCells)
+				if w.Rec != nil {
+					recorders = append(recorders, w.Rec)
+				}
 				if v := w.Clk.Now(); v > maxVirtual {
 					maxVirtual = v
 				}
@@ -395,7 +480,29 @@ func runDrTMR(o Options) Result {
 	r.OverlapNanos = phaseAgg.CoOverlapNanos
 	r.StallNanos = phaseAgg.CoStallNanos
 	r.MaxInFlight = phaseAgg.CoMaxInFlight
+	r.Lat = latAgg
+	r.AbortMatrix = abortAgg
+	r.Trace = recorders
+	r.applyHistogram()
 	return r
+}
+
+// applyHistogram derives the latency summary fields from Lat. The mean
+// REPLACES summarize's workers/throughput back-computation: the two agree
+// only when each worker runs one transaction at a time (CoroutinesPerWorker
+// = 1; see TestAvgLatencyAgreesWithHistogram) — with N in-flight contexts a
+// transaction's latency includes the virtual time peers consume while it is
+// parked, which the back-computation divides away.
+func (r *Result) applyHistogram() {
+	all := r.Lat.All()
+	if all.Count() == 0 {
+		return
+	}
+	r.AvgLatencyUs = all.Mean() / 1e3
+	r.P50Us = all.Quantile(0.50) / 1e3
+	r.P90Us = all.Quantile(0.90) / 1e3
+	r.P99Us = all.Quantile(0.99) / 1e3
+	r.P999Us = all.Quantile(0.999) / 1e3
 }
 
 func summarize(o Options, committed, newOrders, aborts, fallbacks uint64, maxVirtual int64) Result {

@@ -1,8 +1,13 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
+	"math"
+	"strings"
 	"testing"
+
+	"drtmr/internal/obs"
 )
 
 func TestSmokeAllSystems(t *testing.T) {
@@ -23,5 +28,103 @@ func TestSmokeAllSystems(t *testing.T) {
 	fmt.Printf("smallbank: %v\n", r)
 	if r.Committed == 0 {
 		t.Error("smallbank: nothing committed")
+	}
+}
+
+// TestAvgLatencyAgreesWithHistogram pins the AvgLatencyUs fix: the reported
+// latency now comes from the recorded histogram mean, and at one transaction
+// per worker at a time (CoroutinesPerWorker=1) it must agree with the old
+// workers/throughput back-computation — virtual seconds divided by committed
+// transactions per worker — since then a worker's virtual time is exactly
+// the sum of its transactions' latencies (modulo worker skew: VirtualSec is
+// the SLOWEST worker's clock, so the back-computation overestimates a bit).
+func TestAvgLatencyAgreesWithHistogram(t *testing.T) {
+	r := Run(Options{
+		System: SysDrTMR, Workload: WLSmallBank,
+		Nodes: 3, ThreadsPerNode: 2, TxPerWorker: 150,
+		SBAccountsPerNode: 500, CoroutinesPerWorker: 1,
+	})
+	if r.Lat == nil || r.Lat.All().Count() == 0 {
+		t.Fatal("no latency histogram recorded")
+	}
+	if r.Lat.All().Count() != r.Committed {
+		t.Errorf("histogram count %d != committed %d", r.Lat.All().Count(), r.Committed)
+	}
+	hist := r.AvgLatencyUs
+	workers := 3.0 * 2.0
+	back := r.VirtualSec / (float64(r.Committed) / workers) * 1e6
+	if rel := math.Abs(hist-back) / back; rel > 0.30 {
+		t.Errorf("histogram mean %.1fus disagrees with back-computation %.1fus by %.0f%%",
+			hist, back, rel*100)
+	}
+	if !(r.P50Us > 0 && r.P50Us <= r.P90Us && r.P90Us <= r.P99Us && r.P99Us <= r.P999Us) {
+		t.Errorf("percentiles not monotone: p50=%.1f p90=%.1f p99=%.1f p999=%.1f",
+			r.P50Us, r.P90Us, r.P99Us, r.P999Us)
+	}
+	if r.AbortMatrix.Total() == 0 && r.AbortRate > 0 {
+		t.Error("aborts happened but the attribution matrix is empty")
+	}
+}
+
+// TestHarnessTraceExport runs a traced SmallBank experiment and round-trips
+// the recorders through the Chrome-trace writer and validator.
+func TestHarnessTraceExport(t *testing.T) {
+	r := Run(Options{
+		System: SysDrTMR, Workload: WLSmallBank,
+		Nodes: 3, ThreadsPerNode: 2, TxPerWorker: 60,
+		SBAccountsPerNode: 500, SBRemoteProb: 0.2,
+		CoroutinesPerWorker: 2, Trace: true,
+	})
+	if len(r.Trace) != 3*2 {
+		t.Fatalf("got %d recorders, want one per worker (6)", len(r.Trace))
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, r.Trace, TraceNames()); err != nil {
+		t.Fatal(err)
+	}
+	cats, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	for _, cat := range []string{"txn", "phase", "doorbell", "sched"} {
+		if cats[cat] == 0 {
+			t.Errorf("trace missing %q events (got %v)", cat, cats)
+		}
+	}
+}
+
+// TestFigureLatencyTables smoke-runs the new latency figure and Table 6 and
+// checks the percentile rows are present and sane.
+func TestFigureLatencyTables(t *testing.T) {
+	lat := FigLatencyCDF(Smoke)
+	if len(lat.Rows) != 7 {
+		t.Fatalf("latency CDF has %d rows, want 7", len(lat.Rows))
+	}
+	for col := 0; col < 2; col++ {
+		prev := 0.0
+		for _, row := range lat.Rows {
+			if row.Values[col] < prev {
+				t.Errorf("%s: %s %s not monotone", lat.Title, row.XName, lat.Columns[col])
+			}
+			prev = row.Values[col]
+		}
+	}
+	t6 := Table6(Smoke)
+	var haveP50, haveP99 bool
+	for _, row := range t6.Rows {
+		if row.XName == "p50 us" && row.Values[0] > 0 {
+			haveP50 = true
+		}
+		if row.XName == "p99 us" && row.Values[0] > 0 {
+			haveP99 = true
+		}
+	}
+	if !haveP50 || !haveP99 {
+		t.Errorf("Table 6 missing percentile rows: %+v", t6.Rows)
+	}
+	var buf bytes.Buffer
+	t6.Fprint(&buf)
+	if !strings.Contains(buf.String(), "p99 us") {
+		t.Error("rendered Table 6 lacks the p99 row")
 	}
 }

@@ -66,6 +66,16 @@ func (t TxType) String() string {
 // Mix is the standard transaction mix (percent).
 var Mix = [numTxTypes]int{25, 15, 15, 15, 15, 15}
 
+// TypeNames returns the procedure names in TxType order, for indexing
+// per-type latency histograms (obs.TypedHist).
+func TypeNames() []string {
+	names := make([]string, numTxTypes)
+	for t := TxType(0); t < numTxTypes; t++ {
+		names[t] = t.String()
+	}
+	return names
+}
+
 // Config shapes a SmallBank deployment.
 type Config struct {
 	// AccountsPerNode is the number of accounts each machine hosts.

@@ -41,6 +41,16 @@ func (t TxType) String() string {
 // Mix is the standard mix (percent): 45/43/4/4/4.
 var Mix = [numTxTypes]int{45, 43, 4, 4, 4}
 
+// TypeNames returns the transaction type names in TxType order, for indexing
+// per-type latency histograms (obs.TypedHist).
+func TypeNames() []string {
+	names := make([]string, numTxTypes)
+	for t := TxType(0); t < numTxTypes; t++ {
+		names[t] = t.String()
+	}
+	return names
+}
+
 // Gen draws TPC-C transactions for one worker bound to a home warehouse.
 type Gen struct {
 	cfg  Config

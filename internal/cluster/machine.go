@@ -9,6 +9,7 @@ import (
 
 	"drtmr/internal/htm"
 	"drtmr/internal/memstore"
+	"drtmr/internal/obs"
 	"drtmr/internal/oplog"
 	"drtmr/internal/rdma"
 	"drtmr/internal/sim"
@@ -106,6 +107,7 @@ type Cluster struct {
 	Machines []*Machine
 
 	events   chan Event
+	obsRec   atomic.Pointer[obs.Recorder]
 	recovery recoveryState
 }
 
@@ -205,9 +207,38 @@ func New(spec Spec) *Cluster {
 // Events returns the recovery-milestone stream.
 func (c *Cluster) Events() <-chan Event { return c.events }
 
+// SetRecorder attaches an obs recorder to the milestone stream: every emit
+// additionally records an obs.EvMilestone instant event stamped with WALL
+// time (recovery runs on wall clock — leases and detection are real-time
+// mechanisms; see harness.RunRecovery). Milestones come from several machine
+// goroutines concurrently, so pass a shared (mutex-guarded) recorder.
+func (c *Cluster) SetRecorder(r *obs.Recorder) { c.obsRec.Store(r) }
+
+// milestoneCode maps the event-kind string to its obs milestone code.
+func milestoneCode(kind string) (uint8, bool) {
+	switch kind {
+	case "killed":
+		return obs.MilestoneKilled, true
+	case "suspect":
+		return obs.MilestoneSuspect, true
+	case "config-commit":
+		return obs.MilestoneConfigCommit, true
+	case "recovery-done":
+		return obs.MilestoneRecoveryDone, true
+	}
+	return 0, false
+}
+
 func (c *Cluster) emit(kind string, node rdma.NodeID) {
+	now := time.Now()
+	if r := c.obsRec.Load(); r != nil {
+		if code, ok := milestoneCode(kind); ok {
+			ns := now.UnixNano()
+			r.Record(obs.EvMilestone, code, uint16(node), 0, 0, ns, ns)
+		}
+	}
 	select {
-	case c.events <- Event{Kind: kind, Node: node, At: time.Now()}:
+	case c.events <- Event{Kind: kind, Node: node, At: now}:
 	default:
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"drtmr/internal/obs"
 	"drtmr/internal/sim"
 )
 
@@ -49,6 +50,36 @@ type Txn struct {
 	readLines  map[uint64]struct{}
 	writeUndo  map[uint64][]byte // line -> original 64B content
 	writeOrder []uint64          // lines in first-write order (for tests/debug)
+
+	// Tracing (nil rec = off). The end event is emitted only by OWNER-side
+	// paths (Commit, selfAbort, checkActive) — never by extAbort, whose
+	// cleanup may run on a foreign goroutine that must not touch the owner's
+	// single-writer recorder. tended dedupes across those paths; tbegin is
+	// the virtual XBEGIN timestamp.
+	rec    *obs.Recorder
+	tclk   *sim.Clock
+	tid    uint64
+	tbegin int64
+	tended bool
+}
+
+// Trace arms trace recording for this hardware transaction: XBEGIN is
+// stamped now from clk, and XEND/XABORT will emit one obs.EvHTM event onto
+// rec carrying txn id (the protocol-level transaction this region serves),
+// abort cause (0 = committed) and XABORT code.
+func (t *Txn) Trace(rec *obs.Recorder, clk *sim.Clock, id uint64) {
+	t.rec, t.tclk, t.tid = rec, clk, id
+	t.tbegin = clk.Now()
+}
+
+// traceEnd emits the region's end event once. Callers are owner-side only
+// (they hold opMu or own the Txn exclusively).
+func (t *Txn) traceEnd(cause AbortCause, code uint8) {
+	if t.rec == nil || t.tended {
+		return
+	}
+	t.tended = true
+	t.rec.Record(obs.EvHTM, uint8(cause), 0, uint32(code), t.tid, t.tbegin, t.tclk.Now())
 }
 
 // Begin starts a hardware transaction.
@@ -80,6 +111,8 @@ func (t *Txn) checkActive() *AbortError {
 	}
 	if w&0xff == statusAborted {
 		t.cleanupLocked()
+		_, cause, code := unpack(w)
+		t.traceEnd(cause, code)
 	}
 	return t.abortErr()
 }
@@ -91,6 +124,8 @@ func (t *Txn) selfAbort(cause AbortCause, code uint8) *AbortError {
 		t.eng.stats.countAbort(cause)
 	}
 	t.cleanupLocked()
+	_, cause, code = unpack(t.status.Load())
+	t.traceEnd(cause, code)
 	return t.abortErr()
 }
 
@@ -389,13 +424,17 @@ func (t *Txn) Commit() error {
 		return t.selfAbort(CauseSpurious, 0)
 	}
 	if !t.status.CompareAndSwap(statusActive, statusCommitted) {
-		if t.status.Load()&0xff == statusAborted {
+		w := t.status.Load()
+		if w&0xff == statusAborted {
 			t.cleanupLocked()
+			_, cause, code := unpack(w)
+			t.traceEnd(cause, code)
 		}
 		return t.abortErr()
 	}
 	t.eng.stats.Commits.Add(1)
 	t.deregisterCommitted()
+	t.traceEnd(0, 0)
 	return nil
 }
 

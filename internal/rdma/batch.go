@@ -3,6 +3,7 @@ package rdma
 import (
 	"time"
 
+	"drtmr/internal/obs"
 	"drtmr/internal/sim"
 )
 
@@ -118,6 +119,29 @@ type Batch struct {
 	clk *sim.Clock
 	ops []*Pending
 	seq bool
+	rec *obs.Recorder // nil = tracing off (the fast path)
+}
+
+// SetRecorder attaches a trace recorder: each executed doorbell emits one
+// event spanning post → completion (virtual time) with its verb count and
+// target node. nil detaches.
+func (b *Batch) SetRecorder(r *obs.Recorder) { b.rec = r }
+
+// recordDoorbell emits the doorbell trace event for the n verbs just
+// executed; must run before Reset. Site is the single target node, or
+// obs.SiteMulti when the batch fanned out to several.
+func (b *Batch) recordDoorbell(n int, start, end int64) {
+	site := obs.SiteMulti
+	for i, p := range b.ops {
+		t := uint16(p.qp.remote.node)
+		if i == 0 {
+			site = t
+		} else if site != t {
+			site = obs.SiteMulti
+			break
+		}
+	}
+	b.rec.Record(obs.EvDoorbell, 0, site, uint32(n), 0, start, end)
 }
 
 // NewBatch creates a batch charging its virtual time to clk.
@@ -229,6 +253,9 @@ func (b *Batch) ExecuteAsync() *Completion {
 		p.perform()
 	}
 	c.end = maxEnd + int64(base)
+	if b.rec != nil {
+		b.recordDoorbell(len(b.ops), now, c.end)
+	}
 	b.Reset()
 	return c
 }
@@ -269,6 +296,9 @@ func (b *Batch) executeSequentialAsync(c *Completion) *Completion {
 		p.perform()
 	}
 	c.end = t
+	if b.rec != nil {
+		b.recordDoorbell(len(b.ops), b.clk.Now(), c.end)
+	}
 	b.Reset()
 	return c
 }

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"drtmr/internal/htm"
+	"drtmr/internal/obs"
 	"drtmr/internal/sim"
 )
 
@@ -293,7 +294,12 @@ type QP struct {
 	local  *NIC
 	remote *NIC
 	clk    *sim.Clock
+	rec    *obs.Recorder // nil = tracing off (the fast path)
 }
+
+// SetRecorder attaches a trace recorder: asynchronous verbs emit doorbell
+// events (post → completion, virtual time). nil detaches.
+func (qp *QP) SetRecorder(r *obs.Recorder) { qp.rec = r }
 
 // NewQP opens a queue pair from src to dst, charging verb costs to clk
 // (each simulated worker thread owns its QPs, as on real RDMA hardware).
@@ -327,8 +333,12 @@ func (qp *QP) ReadAsync(off uint64, n int, buf []byte) ([]byte, *Completion) {
 	if !qp.remote.alive.Load() {
 		return nil, &Completion{clk: qp.clk, end: qp.clk.Now(), err: ErrNodeDead}
 	}
+	start := qp.clk.Now()
 	end := chargeAsync(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.Read, n)
 	qp.remote.stats.Reads.Add(1)
+	if qp.rec != nil {
+		qp.rec.Record(obs.EvDoorbell, 0, uint16(qp.remote.node), 1, 0, start, end)
+	}
 	return qp.remote.eng.ReadNonTx(off, n, buf), &Completion{clk: qp.clk, end: end}
 }
 

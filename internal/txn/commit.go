@@ -35,10 +35,12 @@ type lockTarget struct {
 //	C.6 unlock remote records with RDMA CAS
 func (tx *Txn) Commit() error {
 	if tx.readOnly || len(tx.ws) == 0 {
+		tx.stage = StageROValidate
 		return tx.commitReadOnly()
 	}
 	w := tx.w
 
+	tx.stage = StageLock
 	if err := tx.resolveWriteOffsets(); err != nil {
 		return err
 	}
@@ -53,18 +55,21 @@ func (tx *Txn) Commit() error {
 	unlock := func() { tx.unlockRemote(locks) }
 
 	// --- C.2: validate remote reads; fetch base seqs of remote writes.
+	tx.stage = StageValidate
 	if err := tx.validateRemote(); err != nil {
 		unlock()
 		return err
 	}
 
 	// --- C.3 + C.4: HTM region over local metadata.
+	tx.stage = StageLocalHTM
 	if err := tx.localHTMCommit(); err != nil {
 		var te *Error
 		if errors.As(err, &te) && te.Reason == AbortHTM {
 			// Fallback handler (§6.1): locking protocol without HTM.
 			// It owns the rest of the pipeline, including unlock.
 			w.Stats.Fallbacks++
+			tx.stage = StageFallback
 			return tx.fallbackCommit(locks)
 		}
 		unlock()
@@ -78,6 +83,7 @@ func (tx *Txn) Commit() error {
 	tx.applyInsertsDeletes()
 
 	// --- R.1: replication.
+	tx.stage = StageLog
 	var toks []ringToken
 	if w.E.Replicated {
 		toks = tx.replicate()
@@ -89,9 +95,11 @@ func (tx *Txn) Commit() error {
 	}
 
 	// --- C.5: write back remote updates with their final seq.
+	tx.stage = StageWriteBack
 	tx.writeBackRemote()
 
 	// --- C.6: unlock.
+	tx.stage = StageUnlock
 	unlock()
 
 	// Truncation watermark: these log entries' transactions are complete.
@@ -119,6 +127,10 @@ func (tx *Txn) resolveWriteOffsets() error {
 		if err != nil {
 			if errors.Is(err, ErrNotFound) && e.kind == wsDelete {
 				continue // deleting a missing record is a no-op
+			}
+			var te *Error
+			if errors.As(err, &te) {
+				te.Stage = tx.stage // commit-time lookup, not execution
 			}
 			return err
 		}
@@ -179,15 +191,17 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 	for i, lt := range locks {
 		pend[i] = b.PostCAS(w.QP(lt.node), lt.off+memstore.LockOff, 0, myWord)
 	}
-	_ = w.execBatch(PhaseLock, b)
+	_ = tx.execBatch(PhaseLock, b)
 
 	acquired := make([]lockTarget, 0, len(locks))
 	var retry []int
 	var verr error
+	verrNode := w.E.M.ID
 	for i, p := range pend {
 		switch {
 		case p.Err != nil:
 			verr = p.Err
+			verrNode = locks[i].node
 		case p.Swapped:
 			acquired = append(acquired, locks[i])
 		default:
@@ -199,7 +213,7 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 	}
 	if verr != nil {
 		tx.unlockTargets(PhaseLock, acquired)
-		return tx.abort(AbortNodeDead, "lock: %v", verr)
+		return tx.abortAt(verrNode, AbortNodeDead, "lock: %v", verr)
 	}
 	if len(retry) > 0 {
 		rb := w.newBatch()
@@ -207,7 +221,7 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 		for j, i := range retry {
 			rpend[j] = rb.PostCAS(w.QP(locks[i].node), locks[i].off+memstore.LockOff, 0, myWord)
 		}
-		_ = w.execBatch(PhaseLock, rb)
+		_ = tx.execBatch(PhaseLock, rb)
 		// The whole retry batch has executed: collect EVERY successful CAS
 		// into `acquired` before acting on any failure, or the back-out
 		// below would leak locks won later in the batch.
@@ -226,10 +240,10 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 			tx.unlockTargets(PhaseLock, acquired)
 			i, p := retry[failed], rpend[failed]
 			if p.Err != nil {
-				return tx.abort(AbortLockFailed, "record %d:%#x relock: %v",
+				return tx.abortAt(locks[i].node, AbortLockFailed, "record %d:%#x relock: %v",
 					locks[i].node, locks[i].off, p.Err)
 			}
-			return tx.abort(AbortLockFailed, "record %d:%#x held by %#x",
+			return tx.abortAt(locks[i].node, AbortLockFailed, "record %d:%#x held by %#x",
 				locks[i].node, locks[i].off, p.Prev)
 		}
 	}
@@ -253,7 +267,7 @@ func (tx *Txn) unlockTargets(phase CommitPhase, locks []lockTarget) {
 	for _, lt := range locks {
 		b.PostCAS(w.QP(lt.node), lt.off+memstore.LockOff, myWord, 0)
 	}
-	_ = w.execBatch(phase, b)
+	_ = tx.execBatch(phase, b)
 }
 
 // seqValidates applies Table 4's read-validation condition.
@@ -291,7 +305,7 @@ func (tx *Txn) validateRemote() error {
 		wsIdx = append(wsIdx, i)
 		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
 	}
-	_ = w.execBatch(PhaseValidate, b)
+	_ = tx.execBatch(PhaseValidate, b)
 
 	for i := range tx.rs {
 		r := &tx.rs[i]
@@ -300,15 +314,15 @@ func (tx *Txn) validateRemote() error {
 			continue
 		}
 		if p.Err != nil {
-			return tx.abort(AbortNodeDead, "validate: %v", p.Err)
+			return tx.abortAt(r.node, AbortNodeDead, "validate: %v", p.Err)
 		}
 		h := p.Data
 		if memstore.RecInc(h) != r.inc {
-			return tx.abort(AbortValidate, "remote inc changed")
+			return tx.abortAt(r.node, AbortValidate, "remote inc changed")
 		}
 		cur := memstore.RecSeq(h)
 		if !tx.seqValidates(r.seq, cur) {
-			return tx.abort(AbortValidate, "remote seq %d -> %d", r.seq, cur)
+			return tx.abortAt(r.node, AbortValidate, "remote seq %d -> %d", r.seq, cur)
 		}
 		// Record the authoritative base (and incarnation) for co-located
 		// writes.
@@ -324,13 +338,13 @@ func (tx *Txn) validateRemote() error {
 		e := &tx.ws[i]
 		p := wsPend[j]
 		if p.Err != nil {
-			return tx.abort(AbortNodeDead, "ws fetch: %v", p.Err)
+			return tx.abortAt(e.node, AbortNodeDead, "ws fetch: %v", p.Err)
 		}
 		h := p.Data
 		cur := memstore.RecSeq(h)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
 			// Table 4 C.2 R_WS: cannot overwrite an unreplicated record.
-			return tx.abort(AbortValidate, "remote ws uncommittable")
+			return tx.abortAt(e.node, AbortValidate, "remote ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
@@ -388,6 +402,9 @@ func (tx *Txn) localHTMAttempt() error {
 	w.htmBegin()
 	defer w.htmEnd()
 	htx := w.E.M.Eng.Begin()
+	if w.Rec != nil {
+		htx.Trace(w.Rec, &w.Clk, tx.id)
+	}
 	if err := tx.localCommitBody(htx); err != nil {
 		return err
 	}
@@ -566,7 +583,7 @@ func (tx *Txn) replicate() []ringToken {
 		}
 		appends = append(appends, pendingAppend{node: node, tok: tk, pend: pend})
 	}
-	_ = w.execBatch(PhaseLog, pb)
+	_ = tx.execBatch(PhaseLog, pb)
 
 	hb := w.newBatch()
 	var toks []ringToken
@@ -577,7 +594,7 @@ func (tx *Txn) replicate() []ringToken {
 		w.E.M.LogWriter(a.node).Publish(w.QP(a.node), hb, a.tok, entry)
 		toks = append(toks, ringToken{node: a.node, tok: a.tok})
 	}
-	_ = w.execBatch(PhaseLog, hb)
+	_ = tx.execBatch(PhaseLog, hb)
 	return toks
 }
 
@@ -637,6 +654,9 @@ func (tx *Txn) makeupAttempt(e *wsEntry) bool {
 	w.htmBegin()
 	defer w.htmEnd()
 	htx := w.E.M.Eng.Begin()
+	if w.Rec != nil {
+		htx.Trace(w.Rec, &w.Clk, tx.id)
+	}
 	cur, err := htx.Load64(e.off + memstore.SeqOff)
 	if err != nil {
 		return false
@@ -705,7 +725,7 @@ func (tx *Txn) writeBackRemote() {
 			b.PostWrite(w.QP(e.node), e.off+24, img[24:])
 		}
 	}
-	_ = w.execBatch(PhaseWriteBack, b)
+	_ = tx.execBatch(PhaseWriteBack, b)
 }
 
 // incFor returns the incarnation to preserve in a remote write-back. The
@@ -737,7 +757,7 @@ func (tx *Txn) commitReadOnly() error {
 			pend[i] = b.PostRead(w.QP(tx.rs[i].node), tx.rs[i].off, 24)
 		}
 	}
-	_ = w.execBatch(PhaseROValidate, b)
+	_ = tx.execBatch(PhaseROValidate, b)
 
 	var hdr [24]byte
 	for i := range tx.rs {
@@ -750,12 +770,16 @@ func (tx *Txn) commitReadOnly() error {
 		} else {
 			p := pend[i]
 			if p.Err != nil {
-				return tx.abort(AbortNodeDead, "ro validate: %v", p.Err)
+				return tx.abortAt(r.node, AbortNodeDead, "ro validate: %v", p.Err)
 			}
 			inc, cur = memstore.RecInc(p.Data), memstore.RecSeq(p.Data)
 		}
 		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
-			return tx.abort(AbortValidate, "ro: record changed")
+			site := w.E.M.ID
+			if !r.local {
+				site = r.node
+			}
+			return tx.abortAt(site, AbortValidate, "ro: record changed")
 		}
 	}
 	return nil

@@ -26,6 +26,7 @@ import (
 
 	"drtmr/internal/cluster"
 	"drtmr/internal/memstore"
+	"drtmr/internal/obs"
 	"drtmr/internal/rdma"
 	"drtmr/internal/sim"
 )
@@ -75,10 +76,79 @@ func (r AbortReason) String() string {
 	}
 }
 
+// Lifecycle stages for abort attribution and phase trace events: WHERE in
+// the transaction an abort struck (obs.AbortMatrix stage axis, obs.EvPhase /
+// EvTxnAbort Detail). StageExec is the execution phase; the rest mirror the
+// commit pipeline (CommitPhase) shifted by one.
+const (
+	StageExec uint8 = iota
+	StageLock
+	StageValidate
+	StageLocalHTM
+	StageLog
+	StageWriteBack
+	StageUnlock
+	StageROValidate
+	StageFallback
+	NumStages
+)
+
+// StageName names a stage code (abort-matrix summaries, trace export).
+func StageName(s uint8) string {
+	switch s {
+	case StageExec:
+		return "exec"
+	case StageLock:
+		return PhaseLock.String()
+	case StageValidate:
+		return PhaseValidate.String()
+	case StageLocalHTM:
+		return "C.3+4-htm"
+	case StageLog:
+		return PhaseLog.String()
+	case StageWriteBack:
+		return PhaseWriteBack.String()
+	case StageUnlock:
+		return PhaseUnlock.String()
+	case StageROValidate:
+		return PhaseROValidate.String()
+	case StageFallback:
+		return PhaseFallback.String()
+	default:
+		return fmt.Sprintf("stage(%d)", s)
+	}
+}
+
+// phaseStage maps a commit-pipeline phase to its lifecycle stage code.
+func phaseStage(p CommitPhase) uint8 {
+	switch p {
+	case PhaseLock:
+		return StageLock
+	case PhaseValidate:
+		return StageValidate
+	case PhaseLog:
+		return StageLog
+	case PhaseWriteBack:
+		return StageWriteBack
+	case PhaseUnlock:
+		return StageUnlock
+	case PhaseROValidate:
+		return StageROValidate
+	case PhaseFallback:
+		return StageFallback
+	default:
+		return StageExec
+	}
+}
+
 // Error is a transaction abort. Transactions signalling Error from Run are
-// retried according to the reason.
+// retried according to the reason. Stage and Site attribute the abort for
+// the obs.AbortMatrix: WHERE in the lifecycle it struck and WHICH node's
+// record triggered it (the aborting worker's own node for local causes).
 type Error struct {
 	Reason AbortReason
+	Stage  uint8
+	Site   uint16
 	Detail string
 }
 
@@ -187,6 +257,11 @@ type Worker struct {
 	cur      *coro
 	htmDepth int
 
+	// Rec is the worker's trace recorder (nil = tracing off; every hot-path
+	// instrumentation site guards on that nil — the disabled fast path).
+	// Set through EnableTrace so QPs and batches share it.
+	Rec *obs.Recorder
+
 	Stats Stats
 }
 
@@ -243,6 +318,12 @@ type Stats struct {
 	Retries   uint64
 	Phases    [NumPhases]PhaseStat
 
+	// AbortCells attributes every abort along reason × stage × site — the
+	// structured replacement for the flat Aborts view ("1100 C.1-lock
+	// conflicts on node 2", not just "1200 lock-failed"). Always on:
+	// recording is one array increment.
+	AbortCells obs.AbortMatrix
+
 	// Coroutine overlap counters (all zero when CoroutinesPerWorker <= 1).
 	// For every awaited doorbell: OverlapNanos is the share of the fabric
 	// round-trip hidden behind other coroutines' work, StallNanos the share
@@ -298,12 +379,30 @@ func (e *Engine) NewWorker(id int) *Worker {
 // QP returns the worker's queue pair to node.
 func (w *Worker) QP(node rdma.NodeID) *rdma.QP { return w.qps[node] }
 
+// EnableTrace attaches a fresh ring-buffer trace recorder (capacity 0 =
+// obs.DefaultCapacity) to this worker and to every QP it owns, and returns
+// it. Recording adds ZERO virtual time — events only read the clock — so
+// enabling tracing never changes simulated results; with tracing off the
+// per-site nil checks are the whole cost.
+func (w *Worker) EnableTrace(capacity int) *obs.Recorder {
+	r := obs.NewRecorder(int(w.E.M.ID), w.ID, capacity)
+	w.Rec = r
+	for _, qp := range w.qps {
+		qp.SetRecorder(r)
+	}
+	return r
+}
+
 // newBatch creates a doorbell batch on this worker's clock, honoring the
-// engine's sequential-accounting ablation knob.
+// engine's sequential-accounting ablation knob and the worker's trace
+// recorder.
 func (w *Worker) newBatch() *rdma.Batch {
 	b := rdma.NewBatch(&w.Clk)
 	if w.E.DisableVerbBatching {
 		b.SetSequential(true)
+	}
+	if w.Rec != nil {
+		b.SetRecorder(w.Rec)
 	}
 	return b
 }
@@ -313,8 +412,11 @@ func (w *Worker) newBatch() *rdma.Batch {
 // (and count) nothing. Under the coroutine scheduler the doorbell is a
 // yield point: other in-flight transactions run during the round-trip and
 // Nanos records elapsed virtual time at this doorbell (identical to the
-// synchronous charge when nothing overlaps).
-func (w *Worker) execBatch(phase CommitPhase, b *rdma.Batch) error {
+// synchronous charge when nothing overlaps). A Txn method (not Worker) so
+// the phase trace event can carry the transaction id — under coroutine
+// interleaving the worker has no well-defined "current transaction".
+func (tx *Txn) execBatch(phase CommitPhase, b *rdma.Batch) error {
+	w := tx.w
 	n := b.Len()
 	if n == 0 {
 		return nil
@@ -325,6 +427,9 @@ func (w *Worker) execBatch(phase CommitPhase, b *rdma.Batch) error {
 	ps.Batches++
 	ps.Verbs += uint64(n)
 	ps.Nanos += uint64(w.Clk.Now() - start)
+	if w.Rec != nil {
+		w.Rec.Record(obs.EvPhase, phaseStage(phase), 0, uint32(n), tx.id, start, w.Clk.Now())
+	}
 	return err
 }
 
@@ -340,8 +445,23 @@ func (w *Worker) backoff(attempt int) {
 // re-executed; it must be idempotent up to its writes (standard OCC
 // contract). Returns the first non-abort error, or nil once committed.
 func (w *Worker) Run(fn func(tx *Txn) error) error {
+	return w.runLoop(fn, (*Worker).Begin)
+}
+
+// RunReadOnly is Run for read-only transactions (§4.5's separate protocol).
+func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
+	return w.runLoop(fn, (*Worker).BeginReadOnly)
+}
+
+// runLoop is the shared retry loop: run, commit, attribute any abort
+// (stats + reason×stage×site matrix + trace events), back off, retry.
+func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error {
 	for attempt := 0; ; attempt++ {
-		tx := w.Begin()
+		tx := begin(w)
+		start := w.Clk.Now()
+		if w.Rec != nil {
+			w.Rec.Record(obs.EvTxnBegin, 0, 0, uint32(attempt), tx.id, start, start)
+		}
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit()
@@ -350,6 +470,9 @@ func (w *Worker) Run(fn func(tx *Txn) error) error {
 		}
 		if err == nil {
 			w.Stats.Committed++
+			if w.Rec != nil {
+				w.Rec.Record(obs.EvTxnCommit, 0, 0, uint32(attempt), tx.id, start, w.Clk.Now())
+			}
 			return nil
 		}
 		var te *Error
@@ -357,36 +480,13 @@ func (w *Worker) Run(fn func(tx *Txn) error) error {
 			return err // user error: not retried
 		}
 		w.Stats.Aborts[te.Reason]++
+		w.Stats.AbortCells.Record(uint8(te.Reason), te.Stage, int(te.Site))
 		w.Stats.Retries++
+		if w.Rec != nil {
+			w.Rec.Record(obs.EvTxnAbort, te.Stage, te.Site, uint32(te.Reason), tx.id, start, w.Clk.Now())
+		}
 		if te.Reason == AbortNodeDead {
 			// Wait for the configuration to change before retrying.
-			w.waitEpochChange()
-		}
-		w.backoff(attempt)
-	}
-}
-
-// RunReadOnly is Run for read-only transactions (§4.5's separate protocol).
-func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
-	for attempt := 0; ; attempt++ {
-		tx := w.BeginReadOnly()
-		err := fn(tx)
-		if err == nil {
-			err = tx.Commit()
-		} else {
-			tx.abandon()
-		}
-		if err == nil {
-			w.Stats.Committed++
-			return nil
-		}
-		var te *Error
-		if !errors.As(err, &te) {
-			return err
-		}
-		w.Stats.Aborts[te.Reason]++
-		w.Stats.Retries++
-		if te.Reason == AbortNodeDead {
 			w.waitEpochChange()
 		}
 		w.backoff(attempt)

@@ -119,7 +119,7 @@ groups:
 			for i, t := range remaining {
 				pend[i] = b.PostCAS(w.QP(t.node), t.off+memstore.LockOff, 0, myWord)
 			}
-			_ = w.execBatch(PhaseFallback, b)
+			_ = tx.execBatch(PhaseFallback, b)
 			var next []fbTarget
 			for i, p := range pend {
 				switch {
@@ -145,7 +145,7 @@ groups:
 		for _, t := range acquired {
 			b.PostCAS(w.QP(t.node), t.off+memstore.LockOff, myWord, 0)
 		}
-		_ = w.execBatch(PhaseFallback, b)
+		_ = tx.execBatch(PhaseFallback, b)
 	}
 	if lockFail {
 		unlockAll()
@@ -217,7 +217,7 @@ func (tx *Txn) fallbackValidate() error {
 		wsIdx = append(wsIdx, i)
 		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
 	}
-	_ = w.execBatch(PhaseFallback, b)
+	_ = tx.execBatch(PhaseFallback, b)
 
 	var hdr [24]byte
 	for i := range tx.rs {
@@ -229,12 +229,16 @@ func (tx *Txn) fallbackValidate() error {
 		} else {
 			p := rsPend[i]
 			if p.Err != nil {
-				return tx.abort(AbortNodeDead, "fallback validate: %v", p.Err)
+				return tx.abortAt(r.node, AbortNodeDead, "fallback validate: %v", p.Err)
 			}
 			inc, cur = memstore.RecInc(p.Data), memstore.RecSeq(p.Data)
 		}
 		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
-			return tx.abort(AbortValidate, "fallback: record changed")
+			site := w.E.M.ID
+			if !r.local {
+				site = r.node
+			}
+			return tx.abortAt(site, AbortValidate, "fallback: record changed")
 		}
 		if e := tx.findWS(r.table, r.key); e != nil && e.kind == wsUpdate {
 			e.baseSeq = cur
@@ -266,11 +270,11 @@ func (tx *Txn) fallbackValidate() error {
 		e := &tx.ws[i]
 		p := wsPend[j]
 		if p.Err != nil {
-			return tx.abort(AbortNodeDead, "fallback ws fetch: %v", p.Err)
+			return tx.abortAt(e.node, AbortNodeDead, "fallback ws fetch: %v", p.Err)
 		}
 		cur := memstore.RecSeq(p.Data)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
-			return tx.abort(AbortValidate, "fallback: ws uncommittable")
+			return tx.abortAt(e.node, AbortValidate, "fallback: ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"drtmr/internal/obs"
 	"drtmr/internal/rdma"
 )
 
@@ -108,9 +109,19 @@ func (w *Worker) yield() {
 	if uint64(s.inFlight) > w.Stats.CoMaxInFlight {
 		w.Stats.CoMaxInFlight = uint64(s.inFlight)
 	}
+	var parked int64
+	if w.Rec != nil {
+		parked = w.Clk.Now()
+	}
 	s.park <- c
 	<-c.resume
 	w.sched.inFlight--
+	if w.Rec != nil {
+		// The span park→resume covers the virtual time other in-flight
+		// transactions consumed on this worker's (shared) clock while this
+		// context was parked; Arg carries the coroutine slot.
+		w.Rec.Record(obs.EvYield, 0, 0, uint32(c.slot), 0, parked, w.Clk.Now())
+	}
 }
 
 // await settles an asynchronous doorbell: under the scheduler it yields so

@@ -74,6 +74,9 @@ type Txn struct {
 	id       uint64
 	cfg      *cluster.Config
 	readOnly bool
+	// stage is the lifecycle position (StageExec .. StageFallback) used to
+	// attribute aborts; the commit pipeline updates it as it advances.
+	stage uint8
 
 	rs []rsEntry
 	ws []wsEntry
@@ -104,8 +107,16 @@ func (w *Worker) BeginReadOnly() *Txn {
 // abandon discards the transaction (nothing to undo: writes are buffered).
 func (tx *Txn) abandon() {}
 
+// abort builds an abort attributed to the worker's own node (local causes:
+// HTM exhaustion, local validation, locked local records).
 func (tx *Txn) abort(r AbortReason, format string, args ...any) error {
-	return &Error{Reason: r, Detail: fmt.Sprintf(format, args...)}
+	return tx.abortAt(tx.w.E.M.ID, r, format, args...)
+}
+
+// abortAt builds an abort attributed to node — the site whose record
+// triggered it — at the transaction's current lifecycle stage.
+func (tx *Txn) abortAt(node rdma.NodeID, r AbortReason, format string, args ...any) error {
+	return &Error{Reason: r, Stage: tx.stage, Site: uint16(node), Detail: fmt.Sprintf(format, args...)}
 }
 
 // homeOf resolves a record's placement under this transaction's
@@ -280,6 +291,9 @@ func (tx *Txn) localReadAttempt(off uint64, tbl *memstore.Table, buf []byte) (im
 	w.htmBegin()
 	defer w.htmEnd()
 	htx := w.E.M.Eng.Begin()
+	if w.Rec != nil {
+		htx.Trace(w.Rec, &w.Clk, tx.id)
+	}
 	lockW, err := htx.Load64(off + memstore.LockOff)
 	if err != nil {
 		return buf, 0, false
@@ -334,7 +348,7 @@ func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, 
 		var comp *rdma.Completion
 		img, comp = qp.ReadAsync(loc.off, tbl.RecBytes, img)
 		if err := tx.w.await(comp); err != nil {
-			return rsEntry{}, tx.abort(AbortNodeDead, "read %v", err)
+			return rsEntry{}, tx.abortAt(node, AbortNodeDead, "read %v", err)
 		}
 		if !memstore.VersionsConsistent(img) {
 			tx.w.backoff(attempt) // torn racing write; retry
@@ -366,7 +380,7 @@ func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, 
 			val: memstore.GatherValue(img, tbl.Spec.ValueSize),
 		}, nil
 	}
-	return rsEntry{}, tx.abort(AbortStale, "remote record %d/%d never stabilized", table, key)
+	return rsEntry{}, tx.abortAt(node, AbortStale, "remote record %d/%d never stabilized", table, key)
 }
 
 // remoteLookup walks the remote hash index with one-sided RDMA READs.
@@ -377,7 +391,9 @@ func (w *Worker) remoteLookup(qp *rdma.QP, tbl *memstore.Table, key uint64) (loc
 	for bucketOff != 0 {
 		b, comp := qp.ReadAsync(bucketOff, 64, img[:])
 		if err := w.await(comp); err != nil {
-			return locVal{}, &Error{Reason: AbortNodeDead, Detail: err.Error()}
+			// Stage is StageExec by default; commit-time callers
+			// (resolveWriteOffsets) re-stamp it.
+			return locVal{}, &Error{Reason: AbortNodeDead, Site: uint16(qp.Remote()), Detail: err.Error()}
 		}
 		packed, next, found := memstore.ParseBucket(b, key)
 		if found {

@@ -11,6 +11,12 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Trace-overhead gate: the observability layer must not move virtual time.
+# TestTraceOverheadBudget (in the race run above) asserts enabled==disabled
+# and <3% drift vs BENCH_coroutine_overlap.json; this prints the numbers at
+# the baseline's iteration count for the log.
+go test ./internal/txn/ -run '^$' -bench BenchmarkTraceOverhead -benchtime 200x
+
 # Smoke-run every benchmark once: the figure benchmarks drive the full
 # harness (including the coroutine-overlap sweep), so this catches
 # experiment-path regressions that unit tests miss.
