@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet race check bench bench-smoke trace
+.PHONY: all help build test vet race check bench bench-smoke trace torture
 
 all: check
 
@@ -14,6 +14,9 @@ help:
 	@echo "  bench        all benchmarks (smoke scale)"
 	@echo "  bench-smoke  every benchmark once + emit/validate a trace JSON"
 	@echo "  trace        traced SmallBank run -> trace.json (Perfetto/Chrome)"
+	@echo "  torture      strict-serializability torture sweep + mutation"
+	@echo "               self-test (internal/check; SEED=n to vary, a"
+	@echo "               violating cell prints its deterministic replay seed)"
 	@echo ""
 	@echo "Knobs:"
 	@echo "  Engine.CoroutinesPerWorker / harness Options.CoroutinesPerWorker:"
@@ -59,3 +62,10 @@ bench-smoke:
 
 trace:
 	$(GO) run ./cmd/drtmr-bench -trace trace.json
+
+# torture: full knob-matrix strict-serializability sweep (with kill cells)
+# plus the checker self-test against deliberately broken protocol steps.
+SEED ?= 3
+torture:
+	$(GO) run ./cmd/drtmr-bench -torture -seed $(SEED)
+	$(GO) run ./cmd/drtmr-bench -torture -mutate -seed $(SEED)

@@ -11,10 +11,18 @@
 //	drtmr-bench -fig all
 //	drtmr-bench -trace out.json     # traced SmallBank run, Perfetto JSON
 //	drtmr-bench -fig 20 -trace r.json  # recovery milestones as a trace
+//	drtmr-bench -torture -seed 42   # strict-serializability torture sweep
+//	drtmr-bench -torture -mutate    # checker self-test on broken protocols
 //
 // -trace writes a Chrome trace-event file: open it at https://ui.perfetto.dev
 // (or chrome://tracing). Without -fig it runs a dedicated traced SmallBank
 // experiment; with -fig 20 it exports the recovery run's milestone track.
+//
+// -torture replaces the figure run with the internal/check torture harness:
+// every knob-matrix cell's history is checked for strict serializability and
+// a violating cell prints its deterministic replay seed. -mutate instead
+// runs the mutation self-test (each deliberately broken protocol step must
+// be caught). Exit status 1 on any violation or uncaught mutation.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"drtmr/internal/bench/harness"
+	"drtmr/internal/check"
 	"drtmr/internal/obs"
 )
 
@@ -31,7 +40,15 @@ func main() {
 	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this path (traced SmallBank run, or the recovery milestones with -fig 20)")
+	torture := flag.Bool("torture", false, "run the strict-serializability torture sweep instead of a figure")
+	mutate := flag.Bool("mutate", false, "with -torture: run the checker self-test against deliberately broken protocols")
+	seed := flag.Uint64("seed", 3, "torture sweep seed (a violating seed replays deterministically)")
+	txPerWorker := flag.Int("tx", 0, "torture: transactions per worker in deterministic cells (0 = default)")
 	flag.Parse()
+
+	if *torture {
+		os.Exit(runTorture(*mutate, *seed, *txPerWorker))
+	}
 
 	scale := harness.Full
 	if *smoke {
@@ -91,6 +108,31 @@ func main() {
 		return
 	}
 	runOne(*fig)
+}
+
+// runTorture runs the strict-serializability torture sweep (or, with
+// mutate, the checker self-test) and returns the process exit status.
+func runTorture(mutate bool, seed uint64, txPerWorker int) int {
+	if mutate {
+		fail := 0
+		for _, oc := range check.MutationSelfTest(seed) {
+			fmt.Println(oc)
+			if !oc.Caught {
+				fail = 1
+			}
+		}
+		return fail
+	}
+	start := time.Now()
+	rep := check.Torture(check.TortureOptions{
+		Seed: seed, TxPerWorker: txPerWorker, Kill: true,
+	})
+	fmt.Println(rep)
+	fmt.Printf("(%s wall time)\n", time.Since(start).Round(time.Millisecond))
+	if !rep.Ok() {
+		return 1
+	}
+	return 0
 }
 
 // runTraced runs one SmallBank experiment with per-worker tracing on and

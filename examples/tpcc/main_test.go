@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExampleSmoke runs a scaled-down version of the example end to end:
+// it must execute the standard mix, keep every warehouse's YTD consistent
+// with its districts, and produce the report.
+func TestExampleSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 3, 1, 40, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", out.String())
+	if !strings.Contains(out.String(), "audit: warehouse/district YTD consistent") {
+		t.Fatalf("YTD audit failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "standard-mix transactions") {
+		t.Fatalf("report missing:\n%s", out.String())
+	}
+}
+
+func TestRunMixCounts(t *testing.T) {
+	r, err := runMix(3, 1, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.total() != 90 {
+		t.Fatalf("3 sessions x 30 txns should commit 90, got %d (counts %v)", r.total(), r.counts)
+	}
+	if r.inconsistent != 0 {
+		t.Fatalf("%d warehouses failed the YTD audit", r.inconsistent)
+	}
+	if r.counts[0] == 0 {
+		t.Fatal("standard mix produced no new-order transactions")
+	}
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"sort"
+	"sync"
+
+	"drtmr/internal/sim"
+)
+
+// stepGate serializes every worker of a run into one seeded, reproducible
+// interleaving (Options.Deterministic). Workers call their step function at
+// every scheduling point — transaction attempt start, doorbell await, retry
+// backoff — park themselves, and the gate's seeded RNG picks which parked
+// worker runs next. Exactly one worker executes between scheduling points,
+// so all cross-worker races (lock CAS winners, NIC queueing order, HTM
+// conflicts) are decided by the gate's RNG stream alone and a run's entire
+// Result is a pure function of its Options.
+//
+// The first release waits until every expected worker has parked once:
+// worker goroutines start in arbitrary OS-scheduler order, and releasing
+// before all have registered would leak that order into the schedule. After
+// that the gate is strictly alternating — the one running worker parks (or
+// finishes) before the next is released — so the waiter set at each draw,
+// kept sorted by worker id, is schedule-determined, not arrival-determined.
+type stepGate struct {
+	mu      sync.Mutex
+	rng     *sim.Rand
+	expect  int
+	arrived map[int]bool
+	waiters []gateWaiter
+	running bool
+}
+
+type gateWaiter struct {
+	id int
+	ch chan struct{}
+}
+
+func newStepGate(seed uint64, expect int) *stepGate {
+	return &stepGate{
+		rng:     sim.NewRand(seed | 1),
+		expect:  expect,
+		arrived: make(map[int]bool),
+	}
+}
+
+// stepFn returns worker id's scheduling-point hook (txn.Worker.SetGate).
+func (g *stepGate) stepFn(id int) func() {
+	return func() { g.step(id) }
+}
+
+// step parks worker id and blocks until the gate releases it.
+func (g *stepGate) step(id int) {
+	ch := make(chan struct{})
+	g.mu.Lock()
+	g.arrived[id] = true
+	i := sort.Search(len(g.waiters), func(i int) bool { return g.waiters[i].id >= id })
+	g.waiters = append(g.waiters, gateWaiter{})
+	copy(g.waiters[i+1:], g.waiters[i:])
+	g.waiters[i] = gateWaiter{id: id, ch: ch}
+	g.running = false
+	g.wake()
+	g.mu.Unlock()
+	<-ch
+}
+
+// finish retires worker id (its run loop returned) and hands the schedule on.
+func (g *stepGate) finish(id int) {
+	g.mu.Lock()
+	g.arrived[id] = true
+	g.running = false
+	g.wake()
+	g.mu.Unlock()
+}
+
+// wake releases one waiter, chosen by the seeded RNG. Callers hold g.mu.
+func (g *stepGate) wake() {
+	if g.running || len(g.arrived) < g.expect || len(g.waiters) == 0 {
+		return
+	}
+	i := g.rng.Intn(len(g.waiters))
+	w := g.waiters[i]
+	g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+	g.running = true
+	close(w.ch)
+}

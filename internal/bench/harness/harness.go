@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -93,6 +94,40 @@ type Options struct {
 	// the run rather than failing.
 	TraceEventsPerWorker int
 
+	// DisableVerbBatching forwards the engine's sequential-verb ablation
+	// knob (one full round-trip per verb instead of doorbell batches).
+	DisableVerbBatching bool
+
+	// History records every committed transaction's versioned read/write
+	// sets (DrTM+R systems): Result.History carries one recorder per worker
+	// and Result.HistoryTxns() the merged history for internal/check.
+	History bool
+
+	// Deterministic serializes every worker through a seeded schedule gate:
+	// exactly one worker runs between scheduling points (transaction start,
+	// doorbell, backoff), and the gate's seeded RNG picks who runs next. The
+	// run's interleaving — and therefore its entire Result — becomes a pure
+	// function of Options, which is what lets a torture-harness violation be
+	// replayed from its seed. Requires an unreplicated system, no kill
+	// injection, and the default (quiescent) failure-detector timing; Run
+	// panics otherwise.
+	Deterministic bool
+
+	// Mutations forwards the protocol-breaking mutation-test switches to
+	// every engine (internal/check's mutation mode; all-false = correct
+	// protocol).
+	Mutations txn.Mutations
+
+	// KillAfter, when >0, kills machine KillNode after that wall-clock delay
+	// mid-run (torture cells exercising recovery under load). Lease and
+	// HeartbeatEvery then override the cluster's failure-detector timing so
+	// the survivors actually detect the death within the run (0 keeps the
+	// harness default: effectively never suspect).
+	KillAfter      time.Duration
+	KillNode       int
+	Lease          time.Duration
+	HeartbeatEvery time.Duration
+
 	HTM  htm.Config
 	Seed uint64
 }
@@ -171,6 +206,10 @@ type Result struct {
 	// virtual-latency counters across all workers (DrTM+R systems only;
 	// see txn.CommitPhase). CommitBreakdown renders it.
 	Phases [txn.NumPhases]txn.PhaseStat
+
+	// History carries each worker's transaction-history recorder when
+	// Options.History was set; HistoryTxns() merges them for internal/check.
+	History []*obs.HistoryRecorder
 
 	// Coroutine overlap aggregates (DrTM+R with CoroutinesPerWorker > 1):
 	// scheduling yields taken, virtual time of fabric round-trips hidden
@@ -281,16 +320,30 @@ func Run(o Options) Result {
 // buildCluster creates a cluster, per-machine stores and loads the workload
 // (primaries and backups).
 func buildCluster(o Options, replicas int) (*cluster.Cluster, interface{}) {
+	// Throughput experiments never kill machines; an effectively infinite
+	// lease prevents false suspicions while the host oversubscribes its
+	// cores running worker goroutines. Kill-injection runs override both
+	// timings so the survivors detect the death within the run, and
+	// deterministic runs stretch the heartbeat period so detector aux-QP
+	// traffic never perturbs the NIC queues mid-schedule.
+	lease, heartbeat := time.Hour, time.Duration(0)
+	if o.Lease > 0 {
+		lease = o.Lease
+	}
+	if o.HeartbeatEvery > 0 {
+		heartbeat = o.HeartbeatEvery
+	}
+	if o.Deterministic {
+		heartbeat = time.Hour
+	}
 	c := cluster.New(cluster.Spec{
-		Nodes:    o.Nodes,
-		Replicas: replicas,
-		MemBytes: memFor(o),
-		HTM:      o.HTM,
-		RDMA:     rdma.Config{NICBytesPerSec: rdma.NICBandwidth56G},
-		// Throughput experiments never kill machines; an effectively
-		// infinite lease prevents false suspicions while the host
-		// oversubscribes its cores running worker goroutines.
-		Lease: time.Hour,
+		Nodes:          o.Nodes,
+		Replicas:       replicas,
+		MemBytes:       memFor(o),
+		HTM:            o.HTM,
+		RDMA:           rdma.Config{NICBytesPerSec: rdma.NICBandwidth56G},
+		Lease:          lease,
+		HeartbeatEvery: heartbeat,
 	})
 	cfg0 := c.Coord.Current()
 	switch o.Workload {
@@ -384,7 +437,31 @@ func runDrTMR(o Options) Result {
 			e.CoroutinesPerWorker = o.CoroutinesPerWorker
 		}
 	}
+	for _, e := range engines {
+		e.DisableVerbBatching = o.DisableVerbBatching
+		e.Mut = o.Mutations
+	}
 	c.Start()
+
+	var gate *stepGate
+	if o.Deterministic {
+		if replicas != 1 {
+			panic("harness: Deterministic requires an unreplicated system")
+		}
+		if o.KillAfter > 0 {
+			panic("harness: Deterministic requires no kill injection")
+		}
+		gate = newStepGate(o.Seed^0x9E3779B97F4A7C15, o.Nodes*o.ThreadsPerNode)
+	}
+	var ticks *obs.TickSource
+	if o.History {
+		ticks = obs.NewTickSource()
+	}
+	if o.KillAfter > 0 {
+		victim := rdma.NodeID(o.KillNode)
+		killTimer := time.AfterFunc(o.KillAfter, func() { c.Kill(victim) })
+		defer killTimer.Stop()
+	}
 
 	typeNames := typeNamesFor(o.Workload)
 	var (
@@ -399,6 +476,7 @@ func runDrTMR(o Options) Result {
 		latAgg     = obs.NewTypedHist(typeNames...)
 		abortAgg   obs.AbortMatrix
 		recorders  []*obs.Recorder
+		histories  []*obs.HistoryRecorder
 	)
 	for n := 0; n < o.Nodes; n++ {
 		for t := 0; t < o.ThreadsPerNode; t++ {
@@ -406,6 +484,14 @@ func runDrTMR(o Options) Result {
 			go func(node, tid int) {
 				defer wg.Done()
 				w := engines[node].NewWorker(tid)
+				if gate != nil {
+					gid := node*o.ThreadsPerNode + tid
+					w.SetGate(gate.stepFn(gid))
+					defer gate.finish(gid)
+				}
+				if ticks != nil {
+					w.EnableHistory(ticks)
+				}
 				if o.Trace {
 					w.EnableTrace(o.TraceEventsPerWorker)
 				}
@@ -427,7 +513,7 @@ func runDrTMR(o Options) Result {
 					home := whs[tid%len(whs)]
 					ex := tpcc.NewExecutor(w, tpcc.NewGen(wcfg, home, o.Seed+uint64(node*100+tid)))
 					w.RunCoroutines(ncoro, func(int) {
-						for remaining > 0 {
+						for remaining > 0 && !engines[node].M.Dead() {
 							remaining--
 							s := w.Clk.Now()
 							ty, err := ex.RunOne()
@@ -444,7 +530,7 @@ func runDrTMR(o Options) Result {
 					wcfg := wcfgAny.(smallbank.Config)
 					g := smallbank.NewGen(wcfg, cluster.ShardID(node), o.Seed+uint64(node*100+tid))
 					w.RunCoroutines(ncoro, func(int) {
-						for remaining > 0 {
+						for remaining > 0 && !engines[node].M.Dead() {
 							remaining--
 							p := g.Next()
 							s := w.Clk.Now()
@@ -466,6 +552,9 @@ func runDrTMR(o Options) Result {
 				if w.Rec != nil {
 					recorders = append(recorders, w.Rec)
 				}
+				if w.Hist != nil {
+					histories = append(histories, w.Hist)
+				}
 				if v := w.Clk.Now(); v > maxVirtual {
 					maxVirtual = v
 				}
@@ -483,8 +572,22 @@ func runDrTMR(o Options) Result {
 	r.Lat = latAgg
 	r.AbortMatrix = abortAgg
 	r.Trace = recorders
+	r.History = histories
 	r.applyHistogram()
 	return r
+}
+
+// HistoryTxns merges every worker's recorded transactions into one history,
+// ordered by invocation tick (globally unique, so the order is total and
+// independent of the goroutine-completion order the recorders were
+// collected in).
+func (r Result) HistoryTxns() []obs.HistTxn {
+	var out []obs.HistTxn
+	for _, h := range r.History {
+		out = append(out, h.Txns()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Invoke < out[j].Invoke })
+	return out
 }
 
 // applyHistogram derives the latency summary fields from Lat. The mean

@@ -1,0 +1,649 @@
+// Package check is the correctness oracle for the transaction layer: a
+// strict-serializability checker over recorded transaction histories
+// (obs.HistTxn), plus a seeded torture harness (torture.go) and a
+// mutation-test mode proving the oracle actually detects protocol bugs.
+//
+// # History model
+//
+// Each committed transaction carries its read set as observed (incarnation,
+// sequence) versions and its write set as installed versions, plus an
+// invocation/response interval in globally ordered ticks. The key property
+// that makes checking tractable is that the PROTOCOL tells us the version
+// order for free: every record carries a monotone sequence number installed
+// under the record's lock (or inside an HTM region), so the versions of one
+// record are totally ordered by sequence number — there is no need to
+// search over version orders as a black-box checker must. Given the version
+// order, strict serializability reduces to acyclicity of the direct
+// serialization graph (DSG):
+//
+//   - wr: the installer of a version precedes every reader of it,
+//   - ww: versions of one record in sequence order,
+//   - rw: a reader of version v precedes the installer of v's successor,
+//   - rt: T1 precedes T2 whenever T1's response tick < T2's invocation tick
+//     (strictness; encoded with a barrier chain, O(n) edges).
+//
+// A cycle is a violation; the graph pass is O(n·ops + edges). For small
+// histories a Wing–Gong style exhaustive search (search.go) additionally
+// confirms the verdict from first principles — it tries every serial order
+// consistent with real time, simulating per-key version state — and is the
+// authority for records that are deleted and re-inserted, where incarnation
+// epochs make the fast pass's version chains ambiguous.
+//
+// Per-record integrity checks run before the graph: duplicate installed
+// versions (two transactions claiming the same slot in a chain — the
+// classic lost-lock symptom), version-chain gaps (an installed version no
+// recorded transaction owns), incarnation splits and reads of versions
+// nobody installed. Those each flag directly, with the involved
+// transactions named.
+//
+// Histories from kill-injection runs are checked in a relaxed mode
+// (Strict=false): transactions marked maybe-committed (in flight on the
+// killed machine) are included only when a surviving transaction observed
+// their writes, versions are identified by sequence number alone (a shard's
+// promoted backup copy carries different incarnations than the dead
+// primary's), and chain gaps or unmatched reads degrade to warnings since
+// the dead machine's unobservable writes are legitimately missing.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drtmr/internal/memstore"
+	"drtmr/internal/obs"
+)
+
+// Options configures one Check run.
+type Options struct {
+	// Replicated normalizes observed read sequence numbers with
+	// memstore.ClosestCommittable: under the optimistic replication scheme a
+	// reader may observe the odd (uncommittable) sequence of a record whose
+	// makeup has not run yet, which names the same version the writer
+	// records as its final even sequence.
+	Replicated bool
+	// Strict enables the checks that are only sound for complete histories
+	// (no kill injection): unknown read versions and version-chain gaps are
+	// violations rather than warnings, incarnations distinguish versions,
+	// and small histories get the exhaustive search confirmation.
+	Strict bool
+	// SearchLimit caps the transaction count for the Wing–Gong search
+	// (0 = default 18; memoization is exponential in this).
+	SearchLimit int
+}
+
+// Violation is one detected strict-serializability violation.
+type Violation struct {
+	Kind  string   // "cycle", "duplicate-version", "version-gap", "unknown-version", "incarnation-split", "read-incarnation", "unserializable"
+	Table uint8    // key-local kinds: the record
+	Key   uint64   //
+	Txns  []uint64 // involved transaction ids
+	Msg   string
+}
+
+func (v *Violation) String() string {
+	if v.Msg == "" {
+		return v.Kind
+	}
+	return v.Kind + ": " + v.Msg
+}
+
+// Result is the checker's verdict over one history.
+type Result struct {
+	Txns       int // transactions checked (after maybe-commit filtering)
+	Excluded   int // maybe-committed transactions dropped as unobserved
+	Keys       int
+	Violations []*Violation
+	Warnings   []string
+	// Searched reports whether the exhaustive search ran (small strict
+	// histories); SearchOK its verdict.
+	Searched bool
+	SearchOK bool
+}
+
+// Ok reports whether the history is strictly serializable as far as the
+// enabled checks can tell.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Result) String() string {
+	if r.Ok() {
+		s := fmt.Sprintf("ok: %d txns, %d keys strictly serializable", r.Txns, r.Keys)
+		if r.Searched {
+			s += " (search confirmed)"
+		}
+		if len(r.Warnings) > 0 {
+			s += fmt.Sprintf(", %d warnings", len(r.Warnings))
+		}
+		return s
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("VIOLATION (%d txns): %s", r.Txns, strings.Join(parts, " | "))
+}
+
+// kid identifies a record.
+type kid struct {
+	table uint8
+	key   uint64
+}
+
+// wref is one installed version.
+type wref struct {
+	txn     int // index into the included-transaction list
+	seq     uint64
+	inc     uint64
+	haveInc bool
+	insert  bool
+}
+
+// rref is one observed read.
+type rref struct {
+	txn int
+	seq uint64 // normalized
+	inc uint64
+}
+
+// keyState collects everything recorded about one record.
+type keyState struct {
+	writes  []wref
+	reads   []rref
+	deletes []int
+	inserts int
+}
+
+// churn reports whether the record's identity changed mid-history (deleted,
+// or re-inserted more than once): its version chain spans incarnation
+// epochs the fast pass cannot order, so it contributes no graph edges and
+// is left to the exhaustive search.
+func (k *keyState) churn() bool { return len(k.deletes) > 0 || k.inserts > 1 }
+
+// Check validates the history against strict serializability.
+func Check(hist []obs.HistTxn, o Options) *Result {
+	if o.SearchLimit <= 0 {
+		o.SearchLimit = 18
+	}
+	res := &Result{}
+
+	txns, excluded := includeObserved(hist, o)
+	res.Txns, res.Excluded = len(txns), excluded
+	if len(txns) == 0 {
+		return res
+	}
+
+	keys := buildKeys(txns, o)
+	res.Keys = len(keys)
+
+	g := newGraph(len(txns))
+	churned := 0
+	for k, ks := range keys {
+		if ks.churn() {
+			churned++
+			continue
+		}
+		checkKey(k, ks, txns, o, res, g)
+	}
+	if churned > 0 && o.Strict && len(txns) > o.SearchLimit {
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("%d re-inserted records left to search, but history too large to search", churned))
+	}
+	addRealTimeEdges(g, txns)
+
+	if cyc := g.findCycle(); cyc != nil {
+		res.Violations = append(res.Violations, cycleViolation(cyc, txns))
+	}
+
+	// Exhaustive confirmation for small strict histories — and the only
+	// authority over churned records. Skipped when per-key integrity
+	// already failed: unmatched reads make the simulation meaningless.
+	if o.Strict && len(txns) <= o.SearchLimit && !hasIntegrityViolation(res) {
+		ok, complete := searchSerializable(txns, keys, o)
+		if complete {
+			res.Searched = true
+			res.SearchOK = ok
+			if !ok && len(res.Violations) == 0 {
+				ids := make([]uint64, len(txns))
+				for i, t := range txns {
+					ids[i] = t.ID
+				}
+				res.Violations = append(res.Violations, &Violation{
+					Kind: "unserializable",
+					Txns: ids,
+					Msg:  "no serial order consistent with real time explains the observed reads",
+				})
+			}
+		}
+	}
+	return res
+}
+
+// hasIntegrityViolation reports whether a per-key (non-cycle) violation was
+// found.
+func hasIntegrityViolation(r *Result) bool {
+	for _, v := range r.Violations {
+		if v.Kind != "cycle" {
+			return true
+		}
+	}
+	return false
+}
+
+// includeObserved selects the transactions to check: every definite commit,
+// plus maybe-committed ones (in flight on a machine being killed) whose
+// writes some included transaction observed — those provably took effect.
+// Observation requires the version to be uniquely attributable: if any OTHER
+// transaction also installed the same (key, seq) — possible across copies
+// when a zombie's write lands on a doomed replica while a survivor reuses
+// the sequence number on the promoted one — the read proves nothing about
+// the maybe-commit and must not drag it in (it would then falsely collide
+// with the survivor). The filter iterates to a fixpoint so chains of
+// maybe-commits observing each other resolve.
+func includeObserved(hist []obs.HistTxn, o Options) ([]obs.HistTxn, int) {
+	include := make([]bool, len(hist))
+	maybes := 0
+	// writers[k][seq] = number of distinct transactions that installed
+	// (k, seq), over the WHOLE history (included or not).
+	writers := make(map[kid]map[uint64]int)
+	for i := range hist {
+		if hist[i].Maybe {
+			maybes++
+		} else {
+			include[i] = true
+		}
+		for _, op := range hist[i].Ops {
+			if op.Kind != obs.HistUpdate && op.Kind != obs.HistInsert {
+				continue
+			}
+			k := kid{op.Table, op.Key}
+			if writers[k] == nil {
+				writers[k] = make(map[uint64]int)
+			}
+			writers[k][op.Seq]++
+		}
+	}
+	for maybes > 0 {
+		// Versions read by currently included transactions.
+		readSet := make(map[kid]map[uint64]bool)
+		for i := range hist {
+			if !include[i] {
+				continue
+			}
+			for _, op := range hist[i].Ops {
+				if op.Kind != obs.HistRead {
+					continue
+				}
+				k := kid{op.Table, op.Key}
+				if readSet[k] == nil {
+					readSet[k] = make(map[uint64]bool)
+				}
+				readSet[k][normSeq(op.Seq, o)] = true
+			}
+		}
+		changed := false
+		for i := range hist {
+			if include[i] || !hist[i].Maybe {
+				continue
+			}
+			for _, op := range hist[i].Ops {
+				if op.Kind != obs.HistUpdate && op.Kind != obs.HistInsert {
+					continue
+				}
+				k := kid{op.Table, op.Key}
+				if readSet[k][op.Seq] && writers[k][op.Seq] == 1 {
+					include[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var out []obs.HistTxn
+	excluded := 0
+	for i := range hist {
+		if include[i] {
+			out = append(out, hist[i])
+		} else {
+			excluded++
+		}
+	}
+	return out, excluded
+}
+
+// normSeq normalizes an observed read sequence number.
+func normSeq(s uint64, o Options) uint64 {
+	if o.Replicated {
+		return memstore.ClosestCommittable(s)
+	}
+	return s
+}
+
+// buildKeys indexes the history per record.
+func buildKeys(txns []obs.HistTxn, o Options) map[kid]*keyState {
+	keys := make(map[kid]*keyState)
+	at := func(k kid) *keyState {
+		ks := keys[k]
+		if ks == nil {
+			ks = &keyState{}
+			keys[k] = ks
+		}
+		return ks
+	}
+	for i := range txns {
+		for _, op := range txns[i].Ops {
+			k := kid{op.Table, op.Key}
+			switch op.Kind {
+			case obs.HistRead:
+				at(k).reads = append(at(k).reads, rref{txn: i, seq: normSeq(op.Seq, o), inc: op.Inc})
+			case obs.HistUpdate:
+				at(k).writes = append(at(k).writes, wref{txn: i, seq: op.Seq, inc: op.Inc, haveInc: op.HaveInc})
+			case obs.HistInsert:
+				ks := at(k)
+				ks.writes = append(ks.writes, wref{txn: i, seq: op.Seq, insert: true})
+				ks.inserts++
+			case obs.HistDelete:
+				at(k).deletes = append(at(k).deletes, i)
+			}
+		}
+	}
+	return keys
+}
+
+// checkKey runs the per-record integrity checks and contributes the
+// record's wr/ww/rw edges to the graph. Only called for non-churned
+// records, whose versions form a single totally ordered chain.
+func checkKey(k kid, ks *keyState, txns []obs.HistTxn, o Options, res *Result, g *graph) {
+	w := ks.writes
+	sort.Slice(w, func(i, j int) bool { return w[i].seq < w[j].seq })
+
+	// Duplicate versions: two transactions installed the same sequence
+	// number on one record — impossible when every installer holds the
+	// record's lock (or its HTM protection).
+	for i := 1; i < len(w); i++ {
+		if w[i].seq == w[i-1].seq {
+			res.Violations = append(res.Violations, &Violation{
+				Kind: "duplicate-version", Table: k.table, Key: k.key,
+				Txns: []uint64{txns[w[i-1].txn].ID, txns[w[i].txn].ID},
+				Msg: fmt.Sprintf("record %d/%d: seq %d installed by both %s and %s",
+					k.table, k.key, w[i].seq, txnLabel(txns, w[i-1].txn), txnLabel(txns, w[i].txn)),
+			})
+			return
+		}
+	}
+
+	step := uint64(1)
+	if o.Replicated {
+		step = 2
+	}
+	if o.Strict {
+		// One live record has one incarnation; updates disagreeing on it
+		// mean a write landed on (or re-stamped) the wrong record identity.
+		var inc uint64
+		haveInc := false
+		for _, ww := range w {
+			if !ww.haveInc {
+				continue
+			}
+			if haveInc && ww.inc != inc {
+				res.Violations = append(res.Violations, &Violation{
+					Kind: "incarnation-split", Table: k.table, Key: k.key,
+					Txns: keyTxnIDs(txns, w),
+					Msg: fmt.Sprintf("record %d/%d: updates carry incarnations %d and %d without any delete",
+						k.table, k.key, inc, ww.inc),
+				})
+				return
+			}
+			inc, haveInc = ww.inc, true
+		}
+		// Version-chain gaps: a chain position no recorded transaction
+		// installed (an unaccounted write).
+		want := step
+		if len(w) > 0 && w[0].insert {
+			want = 0
+			if o.Replicated {
+				want = step
+			}
+		}
+		for i, ww := range w {
+			if ww.seq != want {
+				res.Violations = append(res.Violations, &Violation{
+					Kind: "version-gap", Table: k.table, Key: k.key,
+					Txns: keyTxnIDs(txns, w),
+					Msg: fmt.Sprintf("record %d/%d: expected version seq %d at chain position %d, found %d",
+						k.table, k.key, want, i, ww.seq),
+				})
+				return
+			}
+			want = ww.seq + step
+		}
+	}
+
+	bySeq := make(map[uint64]int, len(w))
+	for i := range w {
+		bySeq[w[i].seq] = i
+	}
+	for _, r := range ks.reads {
+		wi, matched := bySeq[r.seq]
+		switch {
+		case matched:
+			if o.Strict && !w[wi].insert && w[wi].haveInc && w[wi].inc != r.inc {
+				res.Violations = append(res.Violations, &Violation{
+					Kind: "read-incarnation", Table: k.table, Key: k.key,
+					Txns: []uint64{txns[r.txn].ID, txns[w[wi].txn].ID},
+					Msg: fmt.Sprintf("record %d/%d: %s read seq %d with incarnation %d, installer %s recorded %d",
+						k.table, k.key, txnLabel(txns, r.txn), r.seq, r.inc, txnLabel(txns, w[wi].txn), w[wi].inc),
+				})
+				continue
+			}
+			// wr: installer before reader; rw: reader before successor.
+			if w[wi].txn != r.txn {
+				g.addEdge(w[wi].txn, r.txn)
+			}
+			if wi+1 < len(w) && w[wi+1].txn != r.txn {
+				g.addEdge(r.txn, w[wi+1].txn)
+			}
+		case r.seq == 0:
+			// Initial (load-time) version: the reader precedes every writer.
+			if len(w) > 0 && w[0].txn != r.txn {
+				g.addEdge(r.txn, w[0].txn)
+			}
+		case o.Strict:
+			res.Violations = append(res.Violations, &Violation{
+				Kind: "unknown-version", Table: k.table, Key: k.key,
+				Txns: []uint64{txns[r.txn].ID},
+				Msg: fmt.Sprintf("record %d/%d: %s read seq %d, which no recorded transaction installed",
+					k.table, k.key, txnLabel(txns, r.txn), r.seq),
+			})
+		default:
+			// Kill mode: the version may be an unobservable write of the
+			// dead machine. Order the reader before the next recorded
+			// version — sound, since versions are seq-ordered.
+			res.Warnings = append(res.Warnings,
+				fmt.Sprintf("record %d/%d: read of unrecorded seq %d (dead machine's write?)", k.table, k.key, r.seq))
+			for wi := range w {
+				if w[wi].seq > r.seq {
+					if w[wi].txn != r.txn {
+						g.addEdge(r.txn, w[wi].txn)
+					}
+					break
+				}
+			}
+		}
+	}
+	// ww: the chain itself.
+	for i := 1; i < len(w); i++ {
+		if w[i-1].txn != w[i].txn {
+			g.addEdge(w[i-1].txn, w[i].txn)
+		}
+	}
+}
+
+func keyTxnIDs(txns []obs.HistTxn, w []wref) []uint64 {
+	ids := make([]uint64, 0, len(w))
+	for _, ww := range w {
+		ids = append(ids, txns[ww.txn].ID)
+	}
+	return ids
+}
+
+func txnLabel(txns []obs.HistTxn, i int) string {
+	t := &txns[i]
+	return fmt.Sprintf("txn %#x (n%d/w%d)", t.ID, t.Node, t.Worker)
+}
+
+// graph is the DSG plus real-time barrier nodes. Transaction i is node i;
+// barrier nodes follow.
+type graph struct {
+	n   int // real transaction nodes
+	adj [][]int32
+}
+
+func newGraph(n int) *graph {
+	return &graph{n: n, adj: make([][]int32, n)}
+}
+
+func (g *graph) addEdge(from, to int) {
+	g.adj[from] = append(g.adj[from], int32(to))
+}
+
+func (g *graph) addNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// addRealTimeEdges encodes "T1 responded before T2 was invoked ⇒ T1 before
+// T2" with a barrier chain: one barrier node per transaction in response
+// order, chained; each transaction feeds its barrier, and each transaction
+// hangs off the last barrier that responded before its invocation. O(n)
+// nodes and edges replace the O(n²) pairwise relation.
+func addRealTimeEdges(g *graph, txns []obs.HistTxn) {
+	n := len(txns)
+	byResp := make([]int, n)
+	for i := range byResp {
+		byResp[i] = i
+	}
+	sort.Slice(byResp, func(a, b int) bool { return txns[byResp[a]].Response < txns[byResp[b]].Response })
+	bars := make([]int, n)
+	for bi, ti := range byResp {
+		bars[bi] = g.addNode()
+		g.addEdge(ti, bars[bi])
+		if bi > 0 {
+			g.addEdge(bars[bi-1], bars[bi])
+		}
+	}
+	for i := range txns {
+		// Last barrier whose transaction responded strictly before txn i's
+		// invocation.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if txns[byResp[mid]].Response < txns[i].Invoke {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			g.addEdge(bars[lo-1], i)
+		}
+	}
+}
+
+// findCycle returns the node sequence of one directed cycle, or nil.
+// Iterative three-color DFS so deep histories cannot overflow the stack.
+func (g *graph) findCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(g.adj))
+	parent := make([]int32, len(g.adj))
+	type frame struct {
+		node int
+		next int
+	}
+	for start := range g.adj {
+		if color[start] != white {
+			continue
+		}
+		parent[start] = -1
+		stack := []frame{{node: start}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				to := int(g.adj[f.node][f.next])
+				f.next++
+				switch color[to] {
+				case white:
+					color[to] = grey
+					parent[to] = int32(f.node)
+					stack = append(stack, frame{node: to})
+				case grey:
+					// Back edge: walk parents from f.node to `to`.
+					cyc := []int{to}
+					for v := f.node; v != to; v = int(parent[v]) {
+						cyc = append(cyc, v)
+					}
+					// Reverse into forward order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// cycleViolation renders a cycle (which may pass through barrier nodes)
+// into a violation naming the real transactions involved.
+func cycleViolation(cyc []int, txns []obs.HistTxn) *Violation {
+	var ids []uint64
+	var parts []string
+	for _, n := range cyc {
+		if n >= len(txns) {
+			continue // barrier node: a real-time hop
+		}
+		ids = append(ids, txns[n].ID)
+		parts = append(parts, fmt.Sprintf("%s%s", txnLabel(txns, n), opsSummary(&txns[n])))
+	}
+	return &Violation{
+		Kind: "cycle",
+		Txns: ids,
+		Msg:  fmt.Sprintf("dependency cycle of %d transactions: %s", len(ids), strings.Join(parts, " -> ")),
+	}
+}
+
+// opsSummary renders a transaction's operations compactly for diagnostics.
+func opsSummary(t *obs.HistTxn) string {
+	if len(t.Ops) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case obs.HistRead:
+			parts = append(parts, fmt.Sprintf("R %d/%d@%d", op.Table, op.Key, op.Seq))
+		case obs.HistUpdate:
+			parts = append(parts, fmt.Sprintf("W %d/%d@%d", op.Table, op.Key, op.Seq))
+		case obs.HistInsert:
+			parts = append(parts, fmt.Sprintf("I %d/%d@%d", op.Table, op.Key, op.Seq))
+		case obs.HistDelete:
+			parts = append(parts, fmt.Sprintf("D %d/%d", op.Table, op.Key))
+		}
+	}
+	const maxOps = 6
+	if len(parts) > maxOps {
+		parts = append(parts[:maxOps], fmt.Sprintf("+%d more", len(parts)-maxOps))
+	}
+	return " [" + strings.Join(parts, "; ") + "]"
+}

@@ -1,0 +1,199 @@
+package check
+
+import "drtmr/internal/obs"
+
+// Wing–Gong style exhaustive serializability search. Unlike the graph pass,
+// which trusts the recorded version order, this pass re-derives
+// serializability from first principles: it tries to build a serial order of
+// the transactions, one at a time, simulating per-record version state and
+// only scheduling a transaction when (a) every transaction that responded
+// before its invocation is already placed (strictness) and (b) every one of
+// its reads matches the simulated current version of the record. Memoizing
+// on the set of placed transactions (the order within the set does not
+// affect the resulting state, since each record's state is just the token of
+// its last writer) makes it O(2^n · ops) instead of O(n! · ops), which is
+// why callers cap n at Options.SearchLimit.
+//
+// This pass is the authority for records that are deleted and re-inserted:
+// their version chains restart at sequence 0 per incarnation epoch, which
+// the graph pass cannot order, but the simulation handles naturally —
+// a delete sets the record to a "deleted" state no read matches, an insert
+// installs a fresh token, and reads distinguish same-sequence versions of
+// different epochs by incarnation.
+
+const (
+	tokInitial = -1 // record's load-time state (or never existed)
+	tokDeleted = -2 // record state after a delete
+)
+
+// sRead is one read obligation: the simulated state of key must be one of
+// the candidate tokens. Multiple candidates arise when distinct inserts of a
+// re-used key are indistinguishable (inserts carry no incarnation).
+type sRead struct {
+	key  kid
+	cand []int
+}
+
+// sWrite is one state mutation (update/insert install tok; delete installs
+// tokDeleted).
+type sWrite struct {
+	key kid
+	tok int
+}
+
+type sProg struct {
+	reads  []sRead
+	writes []sWrite
+	need   uint64 // bitmask of transactions that must precede (real time)
+}
+
+// searchMemoCap bounds the memo table; beyond it the search gives up and
+// reports itself incomplete rather than burning unbounded memory.
+const searchMemoCap = 1 << 22
+
+// searchSerializable reports whether some serial order consistent with real
+// time explains every read. complete=false means the search could not run
+// (too many transactions) or gave up (memo cap); its ok value is then
+// meaningless.
+func searchSerializable(txns []obs.HistTxn, keys map[kid]*keyState, o Options) (ok, complete bool) {
+	n := len(txns)
+	if n == 0 {
+		return true, true
+	}
+	if n > 63 {
+		return false, false
+	}
+
+	// Assign every installed version a token and index them per key.
+	type tokVer struct {
+		tok     int
+		seq     uint64
+		inc     uint64
+		haveInc bool
+		insert  bool
+	}
+	byKey := make(map[kid][]tokVer)
+	next := 0
+	tokOf := make([]map[int]int, n) // txn -> op index -> token
+	for i := range txns {
+		tokOf[i] = make(map[int]int)
+		for oi, op := range txns[i].Ops {
+			if op.Kind != obs.HistUpdate && op.Kind != obs.HistInsert {
+				continue
+			}
+			k := kid{op.Table, op.Key}
+			tokOf[i][oi] = next
+			byKey[k] = append(byKey[k], tokVer{
+				tok: next, seq: op.Seq, inc: op.Inc,
+				haveInc: op.HaveInc, insert: op.Kind == obs.HistInsert,
+			})
+			next++
+		}
+	}
+
+	progs := make([]sProg, n)
+	for i := range txns {
+		p := &progs[i]
+		for oi, op := range txns[i].Ops {
+			k := kid{op.Table, op.Key}
+			switch op.Kind {
+			case obs.HistRead:
+				seq := normSeq(op.Seq, o)
+				var cand []int
+				for _, v := range byKey[k] {
+					if v.seq != seq {
+						continue
+					}
+					if v.insert || !v.haveInc || v.inc == op.Inc {
+						cand = append(cand, v.tok)
+					}
+				}
+				if seq == 0 {
+					cand = append(cand, tokInitial)
+				}
+				p.reads = append(p.reads, sRead{key: k, cand: cand})
+			case obs.HistUpdate, obs.HistInsert:
+				p.writes = append(p.writes, sWrite{key: k, tok: tokOf[i][oi]})
+			case obs.HistDelete:
+				p.writes = append(p.writes, sWrite{key: k, tok: tokDeleted})
+			}
+		}
+		for j := range txns {
+			if txns[j].Response < txns[i].Invoke {
+				p.need |= uint64(1) << j
+			}
+		}
+	}
+
+	full := uint64(1)<<n - 1
+	failed := make(map[uint64]bool)
+	state := make(map[kid]int)
+	gaveUp := false
+
+	type undoEnt struct {
+		key  kid
+		prev int
+		had  bool
+	}
+	var rec func(mask uint64) bool
+	rec = func(mask uint64) bool {
+		if mask == full {
+			return true
+		}
+		if failed[mask] || gaveUp {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << i
+			if mask&bit != 0 || progs[i].need&^mask != 0 {
+				continue
+			}
+			enabled := true
+			for _, r := range progs[i].reads {
+				cur, have := state[r.key]
+				if !have {
+					cur = tokInitial
+				}
+				match := false
+				for _, c := range r.cand {
+					if c == cur {
+						match = true
+						break
+					}
+				}
+				if !match {
+					enabled = false
+					break
+				}
+			}
+			if !enabled {
+				continue
+			}
+			var undos []undoEnt
+			for _, w := range progs[i].writes {
+				prev, had := state[w.key]
+				undos = append(undos, undoEnt{w.key, prev, had})
+				state[w.key] = w.tok
+			}
+			if rec(mask | bit) {
+				return true
+			}
+			for j := len(undos) - 1; j >= 0; j-- {
+				u := undos[j]
+				if u.had {
+					state[u.key] = u.prev
+				} else {
+					delete(state, u.key)
+				}
+			}
+		}
+		if len(failed) >= searchMemoCap {
+			gaveUp = true
+			return false
+		}
+		failed[mask] = true
+		return false
+	}
+	ok = rec(0)
+	return ok, !gaveUp
+}

@@ -1,0 +1,248 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"drtmr/internal/bench/harness"
+	"drtmr/internal/htm"
+	"drtmr/internal/txn"
+)
+
+// Torture harness: sweep the knob matrix — coroutines per worker × verb
+// batching × HTM fallback pressure, plus replicated cells with a machine
+// killed mid-run — run each cell under the deterministic schedule gate with
+// history recording, and feed every history to the checker.
+//
+// The no-kill cells are fully deterministic: a cell's entire execution is a
+// pure function of its harness.Options (the schedule gate serializes all
+// workers through one seeded RNG), so a violating cell is replayed exactly
+// by re-running RunCell with the reported cell — same seed, same
+// interleaving, same violation. Kill cells are wall-clock timed and
+// therefore only statistically reproducible; their seed still pins the
+// workload and schedule preferences.
+
+// TortureOptions configures a sweep. Zero values take torture defaults
+// (NOT the harness's paper defaults — torture wants small, hot, conflicting
+// workloads, not throughput-shaped ones).
+type TortureOptions struct {
+	Seed uint64
+
+	Nodes           int
+	ThreadsPerNode  int
+	TxPerWorker     int
+	AccountsPerNode int     // small => hot => real conflicts
+	RemoteProb      float64 // cross-shard transaction probability
+
+	// The knob matrix: one cell per combination.
+	Coroutines   []int
+	Batching     []bool
+	FallbackProb []float64 // HTM spurious-abort probability (fallback pressure)
+
+	// Kill adds replicated (3-way) cells that kill a machine mid-run.
+	Kill bool
+	// KillTxPerWorker sizes the kill cells (they are slower: wall-clock
+	// failure detection, recovery, re-execution).
+	KillTxPerWorker int
+
+	// Mutations forwards protocol-breaking switches to every cell
+	// (mutation-test mode; all-false sweeps the correct protocol).
+	Mutations txn.Mutations
+}
+
+func (o TortureOptions) defaults() TortureOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.ThreadsPerNode == 0 {
+		o.ThreadsPerNode = 2
+	}
+	if o.TxPerWorker == 0 {
+		o.TxPerWorker = 220
+	}
+	if o.AccountsPerNode == 0 {
+		o.AccountsPerNode = 40
+	}
+	if o.RemoteProb == 0 {
+		o.RemoteProb = 0.35
+	}
+	if len(o.Coroutines) == 0 {
+		o.Coroutines = []int{1, 4}
+	}
+	if len(o.Batching) == 0 {
+		o.Batching = []bool{true, false}
+	}
+	if len(o.FallbackProb) == 0 {
+		o.FallbackProb = []float64{0, 0.15}
+	}
+	if o.KillTxPerWorker == 0 {
+		o.KillTxPerWorker = 150
+	}
+	return o
+}
+
+// Cell is one sweep point: everything needed to run (or replay) it.
+type Cell struct {
+	Name      string
+	Opts      harness.Options
+	CheckOpts Options
+}
+
+// CellResult is one executed cell plus its checker verdict.
+type CellResult struct {
+	Cell      Cell
+	Committed uint64
+	Check     *Result
+}
+
+// Report is a full sweep's outcome.
+type Report struct {
+	Cells       []CellResult
+	TxnsChecked int
+}
+
+// Ok reports whether every cell's history checked out.
+func (r *Report) Ok() bool {
+	for i := range r.Cells {
+		if !r.Cells[i].Check.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations flattens every cell's violations, tagged with the cell name.
+func (r *Report) Violations() []string {
+	var out []string
+	for i := range r.Cells {
+		for _, v := range r.Cells[i].Check.Violations {
+			out = append(out, fmt.Sprintf("[%s seed=%#x] %s", r.Cells[i].Cell.Name, r.Cells[i].Cell.Opts.Seed, v))
+		}
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		status := "ok"
+		if !c.Check.Ok() {
+			status = "VIOLATION"
+		}
+		fmt.Fprintf(&b, "%-44s seed=%#-18x committed=%-6d checked=%-6d %s\n",
+			c.Cell.Name, c.Cell.Opts.Seed, c.Committed, c.Check.Txns, status)
+		for _, v := range c.Check.Violations {
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "%d cells, %d transactions checked", len(r.Cells), r.TxnsChecked)
+	if !r.Ok() {
+		fmt.Fprintf(&b, " — VIOLATIONS FOUND (replay any cell with its seed)")
+	}
+	return b.String()
+}
+
+// cellSeed derives a cell's seed from the sweep seed: splitmix-style so
+// neighbouring cells get uncorrelated streams.
+func cellSeed(seed uint64, idx int) uint64 {
+	z := seed + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Cells expands the knob matrix into runnable sweep points.
+func Cells(o TortureOptions) []Cell {
+	o = o.defaults()
+	var cells []Cell
+	idx := 0
+	for _, co := range o.Coroutines {
+		for _, batch := range o.Batching {
+			for _, fb := range o.FallbackProb {
+				seed := cellSeed(o.Seed, idx)
+				idx++
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("drtmr coro=%d batch=%v fallback=%.2f", co, batch, fb),
+					Opts: harness.Options{
+						System:              harness.SysDrTMR,
+						Workload:            harness.WLSmallBank,
+						Nodes:               o.Nodes,
+						ThreadsPerNode:      o.ThreadsPerNode,
+						TxPerWorker:         o.TxPerWorker,
+						SBAccountsPerNode:   o.AccountsPerNode,
+						SBRemoteProb:        o.RemoteProb,
+						CoroutinesPerWorker: co,
+						DisableVerbBatching: !batch,
+						History:             true,
+						Deterministic:       true,
+						Mutations:           o.Mutations,
+						Seed:                seed,
+						HTM:                 htm.Config{SpuriousAbortProb: fb, Seed: seed ^ 0xA5A5},
+					},
+					CheckOpts: Options{Strict: true},
+				})
+			}
+		}
+	}
+	if o.Kill {
+		for _, co := range o.Coroutines {
+			seed := cellSeed(o.Seed, idx)
+			idx++
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("drtmr/r=3 coro=%d KILL node %d", co, o.Nodes-1),
+				Opts: harness.Options{
+					System:              harness.SysDrTMR3,
+					Workload:            harness.WLSmallBank,
+					Nodes:               o.Nodes,
+					ThreadsPerNode:      o.ThreadsPerNode,
+					TxPerWorker:         o.KillTxPerWorker,
+					SBAccountsPerNode:   o.AccountsPerNode,
+					SBRemoteProb:        o.RemoteProb,
+					CoroutinesPerWorker: co,
+					History:             true,
+					Mutations:           o.Mutations,
+					Seed:                seed,
+					KillAfter:           12 * time.Millisecond,
+					KillNode:            o.Nodes - 1,
+					Lease:               80 * time.Millisecond,
+					HeartbeatEvery:      8 * time.Millisecond,
+				},
+				// Kill histories are incomplete by design: the dead
+				// machine's in-flight effects are only partially
+				// observable, and a promoted backup's record copies carry
+				// different incarnations than the dead primary's, so the
+				// strict checks would false-flag.
+				CheckOpts: Options{Strict: false, Replicated: true},
+			})
+		}
+	}
+	return cells
+}
+
+// RunCell executes one sweep point and checks its history. Deterministic
+// cells replay exactly from the embedded seed; this is also the violating-
+// seed replay entry point.
+func RunCell(c Cell) CellResult {
+	res := harness.Run(c.Opts)
+	return CellResult{
+		Cell:      c,
+		Committed: res.Committed,
+		Check:     Check(res.HistoryTxns(), c.CheckOpts),
+	}
+}
+
+// Torture runs the whole sweep.
+func Torture(o TortureOptions) *Report {
+	rep := &Report{}
+	for _, c := range Cells(o) {
+		cr := RunCell(c)
+		rep.Cells = append(rep.Cells, cr)
+		rep.TxnsChecked += cr.Check.Txns
+	}
+	return rep
+}

@@ -107,10 +107,16 @@ func TestRPCRoundtrip(t *testing.T) {
 }
 
 func TestFailureDetectionAndReconfig(t *testing.T) {
-	c := New(testSpec(3, 3))
+	// A wider lease than testSpec's: the lower bound below compares against
+	// wall-clock kill time, so scheduler noise (missed heartbeat polls under
+	// full-suite load) must be small relative to the lease.
+	spec := testSpec(3, 3)
+	spec.Lease = 50 * time.Millisecond
+	spec.HeartbeatEvery = 5 * time.Millisecond
+	c := New(spec)
 	c.Start()
 	defer c.Stop()
-	time.Sleep(30 * time.Millisecond) // let heartbeats establish
+	time.Sleep(60 * time.Millisecond) // let heartbeats establish
 	killAt := time.Now()
 	c.Kill(1)
 	var suspectAt, commitAt time.Time

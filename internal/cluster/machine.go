@@ -449,6 +449,9 @@ func (m *Machine) watchConfig(sub <-chan *Config) {
 // Start launches every machine's background threads.
 func (c *Cluster) Start() {
 	for _, m := range c.Machines {
+		// The initial epoch needs no log recovery; mark it recovered up
+		// front so the dangling-lock fence opens immediately.
+		c.Coord.MarkRecovered(c.Coord.Epoch(), m.ID)
 		m.wg.Add(4)
 		go m.serveMessages()
 		go m.runAux()

@@ -136,9 +136,23 @@ func (m *Machine) applyNewConfig(cfg *Config) {
 		}
 	}
 	m.recoverLogs(cfg)
+	// Recovery barrier (§5.2): only after EVERY member has drained and
+	// redone its rings for this epoch is it safe to passively release locks
+	// dangling from the dead machine — a dangling lock may guard a record
+	// whose durably-logged updates are still in flight through cross-redo,
+	// and releasing early would let a new writer rebuild the same versions
+	// over a stale base.
+	m.cluster.Coord.MarkRecovered(cfg.Epoch, m.ID)
 	if promoted {
 		m.cluster.emit("recovery-done", m.ID)
 	}
+}
+
+// RecoveryComplete reports whether the configuration this machine is running
+// under has been fully recovered by all its members. Passive dangling-lock
+// release waits for this fence.
+func (m *Machine) RecoveryComplete() bool {
+	return m.cluster.Coord.EpochRecovered(m.cfg.Load().Epoch)
 }
 
 // recoverLogs drains and redoes this machine's rings: local entries for
@@ -199,6 +213,9 @@ func decodeRedo(buf []byte) (oplog.Rec, error) {
 	if len(buf) < 24 {
 		return oplog.Rec{}, errShortRedo
 	}
+	if buf[0] < oplog.KindUpdate || buf[0] > oplog.KindDelete {
+		return oplog.Rec{}, errBadRedoKind
+	}
 	return oplog.Rec{
 		Kind:  buf[0],
 		Table: memstore.TableID(buf[1]),
@@ -209,4 +226,7 @@ func decodeRedo(buf []byte) (oplog.Rec, error) {
 	}, nil
 }
 
-var errShortRedo = errors.New("cluster: short redo payload")
+var (
+	errShortRedo   = errors.New("cluster: short redo payload")
+	errBadRedoKind = errors.New("cluster: redo record has invalid kind")
+)

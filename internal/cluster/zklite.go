@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync"
 	"sync/atomic"
+
+	"drtmr/internal/rdma"
 )
 
 // Coordinator is the agreement service for cluster configurations — the role
@@ -17,6 +19,9 @@ type Coordinator struct {
 	current *Config
 	version atomic.Uint64 // == current.Epoch, readable without the lock
 	subs    []chan *Config
+	// recovered tracks which members have signalled recovery-done per epoch
+	// (the recovery barrier znode): see MarkRecovered/EpochRecovered.
+	recovered map[uint64]map[rdma.NodeID]bool
 }
 
 // NewCoordinator seeds the service with the initial configuration.
@@ -60,6 +65,48 @@ func (c *Coordinator) Propose(next *Config) (*Config, bool) {
 		}
 	}
 	return cur, true
+}
+
+// MarkRecovered records that node finished its share of recovery (log-ring
+// drain and cross-redo) for epoch — the recovery-done barrier entry of
+// §5.2. Idempotent.
+func (c *Coordinator) MarkRecovered(epoch uint64, node rdma.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.recovered == nil {
+		c.recovered = make(map[uint64]map[rdma.NodeID]bool)
+	}
+	set := c.recovered[epoch]
+	if set == nil {
+		set = make(map[rdma.NodeID]bool)
+		c.recovered[epoch] = set
+	}
+	set[node] = true
+	// Prune epochs that can no longer be queried (EpochRecovered only
+	// answers for the committed epoch).
+	for e := range c.recovered {
+		if e+4 < epoch {
+			delete(c.recovered, e)
+		}
+	}
+}
+
+// EpochRecovered reports whether every member of the COMMITTED configuration
+// has signalled recovery-done for it. Stale epochs answer false: the caller
+// is behind and must refresh its configuration before acting on the answer.
+func (c *Coordinator) EpochRecovered(epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.current.Epoch {
+		return false
+	}
+	set := c.recovered[epoch]
+	for n, alive := range c.current.Alive {
+		if alive && !set[rdma.NodeID(n)] {
+			return false
+		}
+	}
+	return true
 }
 
 // Subscribe returns a channel receiving each newly committed configuration

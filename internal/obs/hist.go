@@ -144,6 +144,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return v0 + frac*(v1-v0)
 }
 
+// Sum returns the exact sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Fold calls f for every non-empty bucket in ascending index order — a
+// deterministic traversal of the histogram's full state, used to fingerprint
+// results in determinism regression tests.
+func (h *Histogram) Fold(f func(bucket int, count uint64)) {
+	for i, c := range h.counts {
+		if c != 0 {
+			f(i, c)
+		}
+	}
+}
+
 // Merge adds all of o's recordings into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.n == 0 {

@@ -211,7 +211,39 @@ type Engine struct {
 	// one-transaction-per-thread behaviour exactly (the ablation baseline).
 	CoroutinesPerWorker int
 
+	// Mut deliberately breaks protocol steps — the mutation-testing knobs
+	// that prove the strict-serializability checker has teeth. Never set
+	// outside tests.
+	Mut Mutations
+
 	locCache *locCache
+}
+
+// Mutations disables individual commit-protocol steps for mutation testing
+// (internal/check): each switch removes one safeguard the protocol relies
+// on, and the history checker must flag the resulting anomalies. All-false
+// is the correct protocol.
+type Mutations struct {
+	// SkipRemoteValidate drops C.2's read-set checks (remote incarnation and
+	// sequence-number validation): stale remote reads commit, producing lost
+	// updates and write skew.
+	SkipRemoteValidate bool
+	// SkipLocalValidate drops C.3's read-set checks inside the commit HTM
+	// region (and the fallback handler's local-read validation): stale local
+	// reads commit.
+	SkipLocalValidate bool
+	// IgnoreLockFail makes C.1 proceed as if every lock CAS succeeded:
+	// conflicting committers write back concurrently, duplicating versions.
+	IgnoreLockFail bool
+	// SkipIncCheck ignores incarnation changes during validation (C.2, C.3
+	// and the fallback): a record deleted and re-inserted between read and
+	// commit validates on sequence number alone — the stale-incarnation bug.
+	SkipIncCheck bool
+}
+
+// Any reports whether any mutation is enabled.
+func (m Mutations) Any() bool {
+	return m.SkipRemoteValidate || m.SkipLocalValidate || m.IgnoreLockFail || m.SkipIncCheck
 }
 
 // DefaultCoroutinesPerWorker is the default number of in-flight transaction
@@ -261,6 +293,17 @@ type Worker struct {
 	// instrumentation site guards on that nil — the disabled fast path).
 	// Set through EnableTrace so QPs and batches share it.
 	Rec *obs.Recorder
+
+	// Hist records every committed transaction's versioned read/write sets
+	// for the strict-serializability checker (nil = off; set through
+	// EnableHistory). Recording reads the clock but never advances it.
+	Hist *obs.HistoryRecorder
+
+	// gate, when non-nil, is called at every scheduling point (transaction
+	// attempt start, doorbell await, backoff) and blocks until this worker
+	// may proceed — the hook the deterministic-schedule harness uses to
+	// serialize all workers into one reproducible interleaving.
+	gate func()
 
 	Stats Stats
 }
@@ -393,6 +436,19 @@ func (w *Worker) EnableTrace(capacity int) *obs.Recorder {
 	return r
 }
 
+// EnableHistory attaches a history recorder drawing timestamps from the
+// run-global tick source ts; committed transactions land in it with their
+// versioned read/write sets for the strict-serializability checker.
+func (w *Worker) EnableHistory(ts *obs.TickSource) *obs.HistoryRecorder {
+	h := obs.NewHistoryRecorder(int(w.E.M.ID), w.ID, ts)
+	w.Hist = h
+	return h
+}
+
+// SetGate installs the deterministic-schedule gate: g is called at every
+// scheduling point and must block until this worker may run. nil removes it.
+func (w *Worker) SetGate(g func()) { w.gate = g }
+
 // newBatch creates a doorbell batch on this worker's clock, honoring the
 // engine's sequential-accounting ablation knob and the worker's trace
 // recorder.
@@ -437,7 +493,10 @@ func (w *Worker) backoff(attempt int) {
 	maxExp := 1 << uint(min(attempt, 8))
 	d := time.Duration(1+w.rng.Intn(maxExp)) * w.E.Costs.Backoff
 	w.Clk.Advance(d)
-	w.yield()   // let another in-flight transaction (maybe the lock holder) run
+	w.yield() // let another in-flight transaction (maybe the lock holder) run
+	if w.gate != nil {
+		w.gate() // deterministic mode: hand the schedule to another worker
+	}
 	sim.Spin(0) // scheduling point so contenders interleave
 }
 
@@ -457,8 +516,18 @@ func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
 // (stats + reason×stage×site matrix + trace events), back off, retry.
 func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error {
 	for attempt := 0; ; attempt++ {
+		if w.gate != nil {
+			w.gate()
+		}
 		tx := begin(w)
 		start := w.Clk.Now()
+		// Invocation timestamp for the history: drawn before the attempt's
+		// first read, so a retried transaction's interval covers only the
+		// attempt that actually committed.
+		var invTick uint64
+		if w.Hist != nil {
+			invTick = w.Hist.Tick()
+		}
 		if w.Rec != nil {
 			w.Rec.Record(obs.EvTxnBegin, 0, 0, uint32(attempt), tx.id, start, start)
 		}
@@ -470,6 +539,13 @@ func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error
 		}
 		if err == nil {
 			w.Stats.Committed++
+			if w.Hist != nil {
+				// A commit that raced this machine's own death may or may
+				// not have survived into the surviving configuration: record
+				// it as maybe-committed so the checker includes it only if
+				// someone observed it.
+				w.Hist.Add(tx.histTxn(invTick, start, w.E.M.Dead()))
+			}
 			if w.Rec != nil {
 				w.Rec.Record(obs.EvTxnCommit, 0, 0, uint32(attempt), tx.id, start, w.Clk.Now())
 			}
@@ -484,6 +560,14 @@ func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error
 		w.Stats.Retries++
 		if w.Rec != nil {
 			w.Rec.Record(obs.EvTxnAbort, te.Stage, te.Site, uint32(te.Reason), tx.id, start, w.Clk.Now())
+		}
+		if w.E.M.Dead() {
+			// This machine was killed: it is fail-stopped from the cluster's
+			// point of view, so stop retrying — whatever the abort reason.
+			// (A zombie can spin forever on AbortLocked: the survivor that
+			// holds the lock can never deliver its unlock verb through our
+			// dark NIC.)
+			return err
 		}
 		if te.Reason == AbortNodeDead {
 			// Wait for the configuration to change before retrying.

@@ -172,6 +172,8 @@ groups:
 		e.finSeq = tx.finalSeq(e.baseSeq)
 		tbl := w.E.M.Store.Table(e.table)
 		inc := tx.localInc(e.off)
+		e.inc = inc
+		e.haveInc = true // history record: local updates bypass C.2's fetch
 		img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, newSeq)
 		w.E.M.Eng.WriteNonTx(e.off+8, img[8:])
 	}
@@ -233,7 +235,12 @@ func (tx *Txn) fallbackValidate() error {
 			}
 			inc, cur = memstore.RecInc(p.Data), memstore.RecSeq(p.Data)
 		}
-		if inc != r.inc || !tx.seqValidates(r.seq, cur) {
+		skip := w.E.Mut.SkipRemoteValidate
+		if r.local {
+			skip = w.E.Mut.SkipLocalValidate
+		}
+		incOK := inc == r.inc || w.E.Mut.SkipIncCheck
+		if (!incOK || !tx.seqValidates(r.seq, cur)) && !skip {
 			site := w.E.M.ID
 			if !r.local {
 				site = r.node

@@ -1,0 +1,56 @@
+package txn
+
+import "drtmr/internal/obs"
+
+// histTxn converts a just-committed transaction's read/write sets into the
+// checker's history record (obs.HistTxn). Reads carry the (incarnation,
+// sequence) version observed during execution; updates the final installed
+// sequence plus the incarnation cached by validation (C.2, C.3 or the
+// fallback); inserts the sequence readers of the fresh record observe (0
+// unreplicated — the record is born at the initial sequence and the write-
+// back is skipped — or the post-makeup finSeq under replication). Deletes
+// carry no version: the delete ends the record's incarnation.
+func (tx *Txn) histTxn(invoke uint64, vstart int64, maybe bool) obs.HistTxn {
+	t := obs.HistTxn{
+		ID:       tx.id,
+		ReadOnly: tx.readOnly,
+		Maybe:    maybe,
+		Invoke:   invoke,
+		VStart:   vstart,
+		VEnd:     tx.w.Clk.Now(),
+		Ops:      make([]obs.HistOp, 0, len(tx.rs)+len(tx.ws)),
+	}
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		t.Ops = append(t.Ops, obs.HistOp{
+			Kind: obs.HistRead, Table: uint8(r.table), Key: r.key,
+			Seq: r.seq, Inc: r.inc, HaveInc: true,
+		})
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		switch e.kind {
+		case wsUpdate:
+			t.Ops = append(t.Ops, obs.HistOp{
+				Kind: obs.HistUpdate, Table: uint8(e.table), Key: e.key,
+				Seq: e.finSeq, Inc: e.inc, HaveInc: e.haveInc,
+			})
+		case wsInsert:
+			if e.off == 0 {
+				continue // insert failed (duplicate key): nothing installed
+			}
+			seq := uint64(0)
+			if tx.w.E.Replicated {
+				seq = e.finSeq
+			}
+			t.Ops = append(t.Ops, obs.HistOp{
+				Kind: obs.HistInsert, Table: uint8(e.table), Key: e.key, Seq: seq,
+			})
+		case wsDelete:
+			t.Ops = append(t.Ops, obs.HistOp{
+				Kind: obs.HistDelete, Table: uint8(e.table), Key: e.key,
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,57 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/memstore"
+)
+
+// TestStrongAtomicityAcrossCoroutineYield pins down the interaction between
+// coroutine scheduling and HTM strong atomicity. An HTM region never spans a
+// yield (the scheduler asserts this), so while a transaction is parked at a
+// remote-read doorbell no speculative state protects its local read set: a
+// non-transactional RDMA write — here a remote committer's C.5 write-back —
+// lands silently on a record the parked transaction already read. The guard
+// for that window is C.3: the commit-time HTM region re-reads the sequence
+// number and must abort the resumed transaction with AbortValidate.
+func TestStrongAtomicityAcrossCoroutineYield(t *testing.T) {
+	w := newWorld(t, 2, 1, htm.Config{})
+	w.load(t, 2, 100)
+	m := w.c.Machines[0]
+	off, ok := m.Store.Table(tblAcct).Lookup(0)
+	if !ok {
+		t.Fatal("key 0 not on node 0")
+	}
+
+	wk := w.engines[0].NewWorker(0)
+	var commitErr error
+	wk.RunCoroutines(2, func(slot int) {
+		switch slot {
+		case 0: // victim: local read, park at a remote doorbell, commit
+			tx := wk.Begin()
+			if _, err := tx.Read(tblAcct, 0); err != nil { // local, no yield
+				t.Errorf("local read: %v", err)
+				return
+			}
+			if _, err := tx.Read(tblAcct, 1); err != nil { // remote: yields here
+				t.Errorf("remote read: %v", err)
+				return
+			}
+			if err := tx.Write(tblAcct, 0, encBal(1)); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			commitErr = tx.Commit()
+		case 1: // runs while slot 0 is parked: a peer's non-tx write-back
+			m.Eng.WriteNonTx(off+memstore.SeqOff+8, encBal(999))
+			m.Eng.FAA64NonTx(off+memstore.SeqOff, 2) // still committable (even)
+		}
+	})
+
+	var te *Error
+	if !errors.As(commitErr, &te) || te.Reason != AbortValidate {
+		t.Fatalf("resumed transaction must fail C.3 validation, got: %v", commitErr)
+	}
+}

@@ -129,6 +129,9 @@ func (w *Worker) yield() {
 // charges only the uncovered remainder; without a scheduler it degenerates
 // to Completion.Wait — the exact synchronous accounting.
 func (w *Worker) await(c *rdma.Completion) error {
+	if w.gate != nil {
+		w.gate() // deterministic mode: doorbells are worker-switch points too
+	}
 	if w.cur == nil {
 		return c.Wait()
 	}

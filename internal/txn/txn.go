@@ -268,9 +268,18 @@ func (tx *Txn) localRead(table memstore.TableID, key uint64) (rsEntry, error) {
 		)
 		img, lockW, ok = tx.localReadAttempt(off, tbl, img)
 		if ok {
+			seq := memstore.RecSeq(img)
+			if tx.w.E.Replicated && !memstore.SeqIsCommittable(seq) {
+				// Uncommittable (Table 4): a local committer is between its
+				// HTM region and replication makeup. Its value exists here
+				// but its remote writes may not have landed — serializing on
+				// it would observe half a transaction. Wait for the flip.
+				tx.w.backoff(attempt)
+				continue
+			}
 			return rsEntry{
 				table: table, key: key, off: off, local: true,
-				seq: memstore.RecSeq(img), inc: memstore.RecInc(img),
+				seq: seq, inc: memstore.RecInc(img),
 				val: memstore.GatherValue(img, tbl.Spec.ValueSize),
 			}, nil
 		}
@@ -316,9 +325,11 @@ func (tx *Txn) localReadAttempt(off uint64, tbl *memstore.Table, buf []byte) (im
 // one-sided RDMA: fetch the whole record, then check that every cacheline's
 // version matches the sequence number (Fig 6). checkLock additionally
 // rejects locked records — required only by the read-only protocol (§4.5);
-// read-write transactions may read locked and uncommittable records
-// optimistically, because commit-time validation (with the record locked)
-// decides.
+// read-write transactions may read locked records optimistically, because
+// commit-time validation (with the record locked) decides. Uncommittable
+// (odd-seq) records are never returned in replicated mode: seq-equality
+// validation cannot tell "still mid-replication" from "unchanged", so a
+// reader must wait for the makeup flip (Table 4).
 func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, checkLock bool) (rsEntry, error) {
 	tbl := tx.w.E.M.Store.Table(table)
 	if tbl == nil {
@@ -374,6 +385,12 @@ func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, 
 				continue
 			}
 		}
+		if tx.w.E.Replicated && !memstore.SeqIsCommittable(memstore.RecSeq(img)) {
+			// Uncommittable record mid-replication: wait for the makeup flip
+			// rather than serialize on an un-replicated half-commit.
+			tx.w.backoff(attempt)
+			continue
+		}
 		return rsEntry{
 			table: table, key: key, off: loc.off, node: node,
 			seq: memstore.RecSeq(img), inc: inc,
@@ -420,6 +437,15 @@ func (w *Worker) maybeReleaseDangling(cfg *cluster.Config, node rdma.NodeID, off
 	// predate a reconfiguration that re-admitted nothing).
 	cur := w.E.M.Config()
 	if cur.IsMember(rdma.NodeID(owner)) {
+		return
+	}
+	// Recovery fence: the dead owner may have published durable log entries
+	// for the record this lock guards that have not yet been applied (ring
+	// drain / cross-redo are per-machine and asynchronous). Releasing the
+	// lock before every member finished recovery would let a new writer
+	// install versions over the pre-crash state, colliding with the dead
+	// transaction's (committed) updates when they finally land.
+	if !w.E.M.RecoveryComplete() {
 		return
 	}
 	_, _, _ = w.QP(node).CAS(off+memstore.LockOff, lockW, 0)

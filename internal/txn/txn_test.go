@@ -411,7 +411,9 @@ func TestReplicationConsistency(t *testing.T) {
 }
 
 // TestUncommittableBlocksCommit checks the seqlock rule directly: a record
-// parked at an odd sequence number can be read but not committed against.
+// parked at an odd sequence number is mid-replication, and a reader must
+// wait for the makeup flip rather than serialize on the half-committed
+// value (Table 4).
 func TestUncommittableBlocksCommit(t *testing.T) {
 	w := newWorld(t, 2, 3, htm.Config{})
 	w.load(t, 2, 100)
@@ -422,20 +424,14 @@ func TestUncommittableBlocksCommit(t *testing.T) {
 	m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
 
 	wk := w.engines[0].NewWorker(0)
-	// The execution phase may read it...
+	// The read backs off while the record stays odd and eventually aborts.
 	tx := wk.Begin()
-	if _, err := tx.Read(tblAcct, 0); err != nil {
-		t.Fatalf("optimistic read of uncommittable record: %v", err)
-	}
-	if err := tx.Write(tblAcct, 0, encBal(1)); err != nil {
-		t.Fatal(err)
-	}
-	// ...but commit must fail while it stays odd.
-	err := tx.Commit()
+	_, err := tx.Read(tblAcct, 0)
 	var te *Error
-	if !errors.As(err, &te) || te.Reason != AbortValidate {
-		t.Fatalf("commit against uncommittable record: %v", err)
+	if !errors.As(err, &te) || te.Reason != AbortLocked {
+		t.Fatalf("read of uncommittable record should wait then abort, got: %v", err)
 	}
+	tx.abandon()
 	// Once "replicated" (seq flipped even), the retry succeeds.
 	m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
 	if err := wk.Run(func(tx *Txn) error {

@@ -11,6 +11,13 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Strict-serializability gate: a short torture sweep under -race (the full
+# suite above already ran the full sweep; -short keeps this pass <30s), the
+# mutation self-test (every deliberately broken protocol step must be
+# caught), and a fuzz smoke of the redo-record codec.
+go test -race -short -run 'TestTortureSweep|TestMutationSelfTest|TestStaleIncarnationScenario' -count=1 ./internal/check/
+go test -run '^$' -fuzz FuzzRedoRoundtrip -fuzztime 5s ./internal/cluster/
+
 # Trace-overhead gate: the observability layer must not move virtual time.
 # TestTraceOverheadBudget (in the race run above) asserts enabled==disabled
 # and <3% drift vs BENCH_coroutine_overlap.json; this prints the numbers at
