@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet race check bench bench-smoke trace torture
+.PHONY: all help build test vet lint race check bench bench-smoke trace torture
 
 all: check
 
@@ -8,9 +8,12 @@ help:
 	@echo "Targets:"
 	@echo "  build        go build ./..."
 	@echo "  vet          go vet ./... (after build)"
+	@echo "  lint         drtmr-vet static protocol invariants (internal/lint):"
+	@echo "               htmregion, virtualtime, abortattr, lockpair, doorbell;"
+	@echo "               suppress with '//drtmr:allow <analyzer> <reason>'"
 	@echo "  test         full test suite"
 	@echo "  race         full test suite under -race"
-	@echo "  check        CI gate: build + vet + race + smoke benchmarks"
+	@echo "  check        CI gate: build + vet + lint + race + smoke benchmarks"
 	@echo "  bench        all benchmarks (smoke scale)"
 	@echo "  bench-smoke  every benchmark once + emit/validate a trace JSON"
 	@echo "  trace        traced SmallBank run -> trace.json (Perfetto/Chrome)"
@@ -36,6 +39,12 @@ build:
 
 vet: build
 	$(GO) vet ./...
+
+# lint runs the protocol-invariant analyzer suite through the real go vet
+# -vettool driver (cmd/drtmr-vet speaks the unitchecker protocol).
+lint: build
+	$(GO) build -o bin/drtmr-vet ./cmd/drtmr-vet
+	$(GO) vet -vettool="$(CURDIR)/bin/drtmr-vet" ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,66 @@
+// Command drtmr-vet is the multichecker bundling drtmr's five invariant
+// analyzers (internal/lint): htmregion, virtualtime, abortattr, lockpair,
+// doorbell. It speaks cmd/go's vet tool protocol, so the canonical
+// invocation is
+//
+//	go vet -vettool=$(command -v drtmr-vet) ./...
+//
+// As a convenience, invoking it directly with package patterns
+//
+//	drtmr-vet ./...
+//
+// re-executes `go vet -vettool=<self> <patterns>` so the driver, build
+// cache, and per-package export data all come from the Go toolchain.
+// Suppress a finding with `//drtmr:allow <analyzer> <reason>` on the
+// offending line or the line above (the reason is required).
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"drtmr/internal/lint"
+	"drtmr/internal/lint/unitchecker"
+)
+
+func main() {
+	if patterns := packagePatterns(os.Args[1:]); patterns != nil {
+		os.Exit(runGoVet(patterns))
+	}
+	unitchecker.Main(lint.Analyzers...)
+}
+
+// packagePatterns returns the arguments when they are package patterns
+// (direct CLI use) rather than the vet tool protocol (flags + a .cfg file).
+func packagePatterns(args []string) []string {
+	if len(args) == 0 {
+		return nil
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return nil
+		}
+	}
+	return args
+}
+
+func runGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drtmr-vet: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "drtmr-vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

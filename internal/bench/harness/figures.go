@@ -611,6 +611,7 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 	c.Start()
 	defer c.Stop()
 
+	//drtmr:allow virtualtime recovery-timeline harness measures real elapsed wall time, not replayed protocol time
 	tl := RecoveryTimeline{BucketDur: runFor / 100, Start: time.Now(), Lease: lease, Trace: rec}
 	var commitMu sync.Mutex
 	var commitTimes []time.Time
@@ -642,6 +643,7 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 				return
 			}
 			if _, err := ex.RunOne(); err == nil {
+				//drtmr:allow virtualtime commit timestamps feed the wall-clock recovery timeline, not the replayed schedule
 				recordCommit(time.Now())
 			}
 		}
@@ -675,17 +677,21 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 		}
 	}()
 
-	time.Sleep(runFor / 3)
+	// The whole kill/recover choreography below runs in harness wall time:
+	// the figure plots real throughput dips around a real fault instant.
+	time.Sleep(runFor / 3) //drtmr:allow virtualtime harness wall-clock choreography for the recovery figure
+	//drtmr:allow virtualtime harness wall-clock choreography for the recovery figure
 	tl.KillAt = time.Now()
 	c.Kill(victim)
-	time.Sleep(2 * runFor / 3)
+	time.Sleep(2 * runFor / 3) //drtmr:allow virtualtime harness wall-clock choreography for the recovery figure
 	close(stop)
 
 	// Bucketize commits (stragglers may still append briefly; snapshot).
-	time.Sleep(20 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) //drtmr:allow virtualtime harness wall-clock choreography for the recovery figure
 	commitMu.Lock()
 	snapshot := append([]time.Time(nil), commitTimes...)
 	commitMu.Unlock()
+	//drtmr:allow virtualtime harness wall-clock choreography for the recovery figure
 	end := time.Now()
 	n := int(end.Sub(tl.Start)/tl.BucketDur) + 1
 	tl.Buckets = make([]int, n)

@@ -459,6 +459,7 @@ func runDrTMR(o Options) Result {
 	}
 	if o.KillAfter > 0 {
 		victim := rdma.NodeID(o.KillNode)
+		//drtmr:allow virtualtime the fault-injection instant is harness wall time, outside the replayed schedule
 		killTimer := time.AfterFunc(o.KillAfter, func() { c.Kill(victim) })
 		defer killTimer.Stop()
 	}

@@ -230,6 +230,7 @@ func milestoneCode(kind string) (uint8, bool) {
 }
 
 func (c *Cluster) emit(kind string, node rdma.NodeID) {
+	//drtmr:allow virtualtime milestone events are stamped in observer wall time for the recovery timeline
 	now := time.Now()
 	if r := c.obsRec.Load(); r != nil {
 		if code, ok := milestoneCode(kind); ok {
@@ -317,6 +318,7 @@ func (m *Machine) Call(qp *rdma.QP, kind uint8, payload []byte, timeout time.Dur
 	select {
 	case reply := <-ch:
 		return reply, nil
+	//drtmr:allow virtualtime RPC timeout is a liveness backstop that only ever aborts, never commits
 	case <-time.After(timeout):
 		return nil, fmt.Errorf("cluster: rpc kind %d to node %d timed out", kind, qp.Remote())
 	case <-m.stop:
@@ -420,6 +422,7 @@ func (m *Machine) runHeartbeat() {
 		select {
 		case <-m.stop:
 			return
+		//drtmr:allow virtualtime heartbeat cadence is liveness machinery outside the deterministic replay scope
 		case <-time.After(tick):
 			m.Eng.FAA64NonTx(HeartbeatOff, 1)
 		}
@@ -437,6 +440,7 @@ func (m *Machine) watchConfig(sub <-chan *Config) {
 			if cfg != nil {
 				m.applyNewConfig(cfg)
 			}
+		//drtmr:allow virtualtime config-refresh polling is liveness machinery outside the deterministic replay scope
 		case <-time.After(50 * time.Millisecond):
 			cfg := m.cluster.Coord.Current()
 			if cfg.Epoch > m.cfg.Load().Epoch {

@@ -68,9 +68,11 @@ func (m *Machine) runDetector() {
 		select {
 		case <-m.stop:
 			return
+		//drtmr:allow virtualtime lease-expiry detection runs on wall-clock heartbeats by design
 		case <-time.After(m.cluster.Spec.HeartbeatEvery):
 		}
 		cfg := m.cfg.Load()
+		//drtmr:allow virtualtime lease ages are compared against wall-clock heartbeat stamps
 		now := time.Now()
 		for p := 0; p < m.cluster.Spec.Nodes; p++ {
 			pid := rdma.NodeID(p)

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"drtmr/internal/lint/analysis"
+)
+
+// AbortAttr requires every txn.Error composite literal — each one an abort
+// on some protocol path — to set Reason, Stage and Site explicitly. The
+// observability layer's abort-attribution matrix (obs.AbortMatrix) is
+// indexed reason × stage × site; a literal that leaves Stage or Site zero
+// silently lands the abort in the exec/node-0 cell and the matrix loses
+// information without any test failing. The blessed constructors
+// (Txn.abort/abortAt) satisfy the rule by construction; this analyzer
+// catches the ad-hoc literal someone adds on a new abort path.
+var AbortAttr = &analysis.Analyzer{
+	Name:          "abortattr",
+	Doc:           "require txn.Error literals to set Reason, Stage and Site (abort-attribution completeness)",
+	PackageFilter: isTxnPackage,
+	Run:           runAbortAttr,
+}
+
+// abortAttrRequired are the fields every Error literal must name.
+var abortAttrRequired = []string{"Reason", "Stage", "Site"}
+
+func runAbortAttr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isAbortErrorType(pass.TypesInfo, cl) {
+				return true
+			}
+			have := make(map[string]bool, len(cl.Elts))
+			positional := false
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					positional = true
+					break
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					have[id.Name] = true
+				}
+			}
+			if positional {
+				// Positional literals set every field; nothing to check.
+				return true
+			}
+			for _, field := range abortAttrRequired {
+				if !have[field] {
+					pass.Reportf(cl.Pos(), "txn.Error literal without %s: the abort lands in the wrong abort-attribution cell — set %s explicitly (or use Txn.abort/abortAt)", field, field)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAbortErrorType reports whether the composite literal builds a struct
+// named Error that carries Stage and Site fields (the txn abort shape; the
+// name+shape match keeps fixtures independent of the real package path).
+func isAbortErrorType(info *types.Info, cl *ast.CompositeLit) bool {
+	tv, ok := info.Types[cl]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Error" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasStage, hasSite bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Stage":
+			hasStage = true
+		case "Site":
+			hasSite = true
+		}
+	}
+	return hasStage && hasSite
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs a lint analyzer over a fixture package under
+// testdata/src/<dir> and checks its diagnostics against `// want` comments,
+// in the style of golang.org/x/tools/go/analysis/analysistest (stdlib-only).
+//
+// Expectation syntax, on the line a diagnostic is expected:
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every diagnostic on a line must match one of the line's regexps and every
+// regexp must be matched by some diagnostic. Suppression is part of the
+// contract being tested: a line carrying a valid //drtmr:allow directive and
+// no want comment asserts the finding is silenced.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"drtmr/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<dir>, type-checks it (stdlib imports resolve
+// through the source importer), runs the analyzer with package filters
+// bypassed, and compares diagnostics with the `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgdir := filepath.Join(testdata, "src", dir)
+	fset := token.NewFileSet()
+
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Logf("fixture type error (tolerated): %v", err) },
+	}
+	pkg, _ := conf.Check(dir, fset, files, info)
+
+	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a}, analysis.Options{IgnoreFilters: true})
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	check(t, fset, files, diags)
+}
+
+// expectation is the set of want regexps on one line.
+type expectation struct {
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]*expectation) // "file:line"
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				exp := &expectation{}
+				for _, am := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(am[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, am[1], err)
+					}
+					exp.patterns = append(exp.patterns, re)
+					exp.matched = append(exp.matched, false)
+				}
+				if len(exp.patterns) == 0 {
+					t.Fatalf("%s: want comment with no quoted regexp", key)
+				}
+				wants[key] = exp
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		exp := wants[key]
+		ok := false
+		if exp != nil {
+			for i, re := range exp.patterns {
+				if re.MatchString(d.Message) {
+					exp.matched[i] = true
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", key, d.Analyzer, d.Message)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		exp := wants[k]
+		for i, hit := range exp.matched {
+			if !hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.patterns[i])
+			}
+		}
+	}
+}

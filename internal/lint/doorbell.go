@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"drtmr/internal/lint/analysis"
+)
+
+// Doorbell guards the PR-1 batching win against regression: in the commit
+// pipeline, one-sided verbs are posted to an rdma.Batch and ring a single
+// doorbell per phase (one base latency for the whole batch) instead of
+// paying a full round-trip per verb. A raw single-verb QP call written in a
+// function that already has a Batch in scope is almost always a missed
+// PostX — it silently re-introduces the sequential per-verb latency the
+// batching work removed, and no correctness test notices.
+//
+// Single-verb QP calls in functions with no Batch in scope (last-resort
+// header reads, passive lock release) are legitimate and not flagged.
+var Doorbell = &analysis.Analyzer{
+	Name:          "doorbell",
+	Doc:           "flag raw single-verb QP.Read/Write/CAS calls where an rdma.Batch is in scope (doorbell batching regression guard)",
+	PackageFilter: isTxnPackage,
+	Run:           runDoorbell,
+}
+
+// singleVerbMethods are the synchronous per-verb QP entry points with a
+// batched equivalent (Batch.PostRead/PostRead64/PostWrite/PostWrite64/
+// PostCAS).
+var singleVerbMethods = map[string]string{
+	"Read":    "PostRead",
+	"Read64":  "PostRead64",
+	"Write":   "PostWrite",
+	"Write64": "PostWrite64",
+	"CAS":     "PostCAS",
+	"FAA":     "PostCAS", // no batched FAA; restructure or justify
+}
+
+func runDoorbell(pass *analysis.Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		batchPos := firstBatchInScope(pass.TypesInfo, fd)
+		if !batchPos.IsValid() {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if call.Pos() < batchPos {
+				return true
+			}
+			name := calleeName(pass.TypesInfo, call)
+			post, isVerb := singleVerbMethods[name]
+			if !isVerb || recvTypeName(pass.TypesInfo, call) != "QP" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"single-verb QP.%s while an rdma.Batch is in scope pays a full per-verb round-trip: post it with Batch.%s and share the doorbell", name, post)
+			return true
+		})
+	}
+	return nil
+}
+
+// firstBatchInScope returns the position of the first declaration of a
+// (*)Batch-typed variable in the function (parameters included), or NoPos.
+func firstBatchInScope(info *types.Info, fd *ast.FuncDecl) token.Pos {
+	pos := token.NoPos
+	consider := func(id *ast.Ident) {
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && namedTypeName(v.Type()) == "Batch" {
+			if !pos.IsValid() || id.Pos() < pos {
+				pos = id.Pos()
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, id := range f.Names {
+				consider(id)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			consider(id)
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,211 @@
+// Package lint is drtmr's own vet suite: five analyzers that turn the
+// protocol's structural runtime invariants — the properties the paper's
+// correctness argument (and the seeded torture oracle) lean on — into
+// compile-time errors. They run over every build via `make lint` /
+// scripts/check.sh through cmd/drtmr-vet (a `go vet -vettool` multichecker).
+//
+// The five invariants (DESIGN.md "Static invariants" has the full story):
+//
+//	htmregion   — no blocking/yielding operation inside an HTM region
+//	virtualtime — no wall clock or global randomness in protocol packages
+//	abortattr   — every txn.Error names its Stage and Site
+//	lockpair    — lock CAS results are fully scanned and recorded
+//	doorbell    — no raw single-verb QP calls where a Batch is in scope
+//
+// Findings are suppressed with `//drtmr:allow <analyzer> <reason>` on the
+// offending line or the line above; the reason is mandatory.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"drtmr/internal/lint/analysis"
+)
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	HTMRegion,
+	VirtualTime,
+	AbortAttr,
+	LockPair,
+	Doorbell,
+}
+
+// protocolPackages are the import paths whose code must stay bit-deterministic
+// under seeded replay (virtualtime) — the simulator, the protocol, and the
+// harness that fingerprints them.
+var protocolPackages = []string{
+	"drtmr/internal/txn",
+	"drtmr/internal/htm",
+	"drtmr/internal/rdma",
+	"drtmr/internal/cluster",
+	"drtmr/internal/sim",
+	"drtmr/internal/check",
+	"drtmr/internal/bench",
+}
+
+// inProtocolPackages matches pkg path (or any of its subpackages).
+func inProtocolPackages(path string) bool {
+	for _, p := range protocolPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTxnPackage restricts an analyzer to the transaction layer, where the
+// commit pipeline and the Error type live.
+func isTxnPackage(path string) bool { return path == "drtmr/internal/txn" }
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (function, method, or qualified package function); nil for builtins,
+// conversions, and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// calleeName returns the bare name a call invokes, resolving through the
+// type info when possible and falling back to the syntax (so fixtures and
+// partially checked code still match).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.Name()
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// pkgLevelCallee returns the package path and name of a call to a
+// package-level function ("" path when the callee is a method or unknown).
+func pkgLevelCallee(info *types.Info, call *ast.CallExpr) (path, name string) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return "", ""
+	}
+	if f.Pkg() == nil {
+		return "", f.Name()
+	}
+	return f.Pkg().Path(), f.Name()
+}
+
+// namedTypeName unwraps pointers and aliases and returns the named type's
+// bare name ("" for unnamed types).
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// recvTypeName returns the receiver type name of the method a call invokes
+// ("" for non-methods).
+func recvTypeName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	return namedTypeName(sig.Recv().Type())
+}
+
+// exprTypeName names the (possibly pointer-wrapped) named type of e.
+func exprTypeName(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok {
+		return namedTypeName(tv.Type)
+	}
+	return ""
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// isTestFile reports whether pos's file is a _test.go file.
+func isTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// childStmts returns the direct child statements of a compound statement
+// (loop/switch/select bodies plus init/post clauses).
+func childStmts(s ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	add := func(ss ...ast.Stmt) {
+		for _, c := range ss {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	switch st := s.(type) {
+	case *ast.ForStmt:
+		add(st.Init, st.Post)
+		add(st.Body.List...)
+	case *ast.RangeStmt:
+		add(st.Body.List...)
+	case *ast.SwitchStmt:
+		add(st.Init)
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				add(cc.Body...)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		add(st.Init, st.Assign)
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				add(cc.Body...)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				add(cc.Comm)
+				add(cc.Body...)
+			}
+		}
+	case *ast.BlockStmt:
+		add(st.List...)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drtmr/internal/lint"
+	"drtmr/internal/lint/analysistest"
+)
+
+// Each fixture demonstrates at least one true-positive diagnostic, one
+// finding suppressed by a reasoned //drtmr:allow, and one reason-less
+// directive that is itself rejected (the `// want "missing the required
+// reason"` lines).
+
+func TestHTMRegion(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HTMRegion, "htmregion")
+}
+
+func TestVirtualTime(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.VirtualTime, "virtualtime")
+}
+
+func TestAbortAttr(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AbortAttr, "abortattr")
+}
+
+func TestLockPair(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockPair, "lockpair")
+}
+
+func TestDoorbell(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Doorbell, "doorbell")
+}
+
+// TestPackageFilters pins the analyzer scoping: the commit-pipeline checks
+// stay inside internal/txn, determinism covers every protocol package, and
+// nothing fires on the harness-external packages (cmd, examples, lint).
+func TestPackageFilters(t *testing.T) {
+	cases := []struct {
+		path        string
+		txnOnly     bool
+		virtualTime bool
+	}{
+		{"drtmr/internal/txn", true, true},
+		{"drtmr/internal/rdma", false, true},
+		{"drtmr/internal/bench/harness", false, true},
+		{"drtmr/internal/lint", false, false},
+		{"drtmr/cmd/drtmr-bench", false, false},
+	}
+	for _, c := range cases {
+		for _, a := range lint.Analyzers {
+			if a.PackageFilter == nil {
+				t.Errorf("%s: nil PackageFilter", a.Name)
+				continue
+			}
+			got := a.PackageFilter(c.path)
+			want := c.virtualTime
+			if a.Name != "virtualtime" {
+				want = c.txnOnly
+			}
+			if got != want {
+				t.Errorf("%s.PackageFilter(%q) = %v, want %v", a.Name, c.path, got, want)
+			}
+		}
+	}
+}

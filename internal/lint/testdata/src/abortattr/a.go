@@ -1,0 +1,50 @@
+// Fixture for the abortattr analyzer: txn.Error-shaped literals must set
+// Reason, Stage and Site so the abort-attribution matrix never loses a cell.
+package abortattr
+
+type Error struct {
+	Reason int
+	Stage  uint8
+	Site   uint16
+	Detail string
+}
+
+// other has the fields but a different name: not an abort error.
+type other struct {
+	Stage uint8
+	Site  uint16
+}
+
+func good() error {
+	return &Error{Reason: 1, Stage: 2, Site: 3, Detail: "x"}
+}
+
+func goodPositional() error {
+	return &Error{1, 2, 3, "x"} // positional literals set every field
+}
+
+func goodOtherType() any {
+	return &other{} // not the Error shape+name: fine
+}
+
+func badNoStage() error {
+	return &Error{Reason: 1, Site: 3, Detail: "x"} // want "without Stage"
+}
+
+func badNoSite() error {
+	return &Error{Reason: 1, Stage: 2} // want "without Site"
+}
+
+func badValueLiteral() error {
+	e := Error{Detail: "x"} // want "without Reason" "without Stage" "without Site"
+	return &e
+}
+
+func allowed() error {
+	//drtmr:allow abortattr sentinel compared by identity, never recorded in the matrix
+	return &Error{Reason: 1}
+}
+
+func missingReason() error {
+	return &Error{Reason: 1, Stage: 2} //drtmr:allow abortattr // want "without Site" "missing the required reason"
+}

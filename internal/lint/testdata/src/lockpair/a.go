@@ -1,0 +1,122 @@
+// Fixture for the lockpair analyzer: scans over lock-CAS results must run
+// to completion and record every won lock in a back-out set.
+package lockpair
+
+type pending struct {
+	Swapped bool
+	Prev    uint64
+	Err     error
+}
+
+type target struct{ off uint64 }
+
+func releaseAll(ts []target) {}
+
+func goodScan(pend []*pending, targets []target) []target {
+	var acquired []target
+	failed := -1
+	for i, p := range pend {
+		if p.Err != nil || !p.Swapped {
+			if failed < 0 {
+				failed = i
+			}
+			continue
+		}
+		acquired = append(acquired, targets[i])
+	}
+	if failed >= 0 {
+		releaseAll(acquired)
+		return nil
+	}
+	return acquired
+}
+
+func goodSwitchBreak(pend []*pending, targets []target) []target {
+	var acquired []target
+	for i, p := range pend {
+		switch {
+		case p.Err != nil:
+			break // breaks the switch, not the scan: fine
+		case p.Swapped:
+			acquired = append(acquired, targets[i])
+		}
+	}
+	return acquired
+}
+
+func badBreak(pend []*pending, targets []target) []target {
+	var acquired []target
+	for i, p := range pend {
+		if p.Err != nil {
+			break // want "early exit from a lock-CAS result scan"
+		}
+		if p.Swapped {
+			acquired = append(acquired, targets[i])
+		}
+	}
+	return acquired
+}
+
+func badReturn(pend []*pending, targets []target) []target {
+	var acquired []target
+	for i, p := range pend {
+		if !p.Swapped {
+			return nil // want "return inside a lock-CAS result scan"
+		}
+		acquired = append(acquired, targets[i])
+	}
+	return acquired
+}
+
+func badLabeledBreak(pend []*pending, targets []target) []target {
+	var acquired []target
+groups:
+	for round := 0; round < 2; round++ {
+		for i, p := range pend {
+			switch {
+			case p.Err != nil:
+				break groups // want "early exit from a lock-CAS result scan"
+			case p.Swapped:
+				acquired = append(acquired, targets[i])
+			}
+		}
+	}
+	return acquired
+}
+
+func badNoRecord(pend []*pending) int {
+	n := 0
+	for _, p := range pend { // want "never records won locks"
+		if p.Swapped {
+			n++
+		}
+	}
+	return n
+}
+
+func allowedBreak(pend []*pending, targets []target) []target {
+	var acquired []target
+	for i, p := range pend {
+		if p.Err != nil {
+			//drtmr:allow lockpair single-verb batch: nothing later in the batch to leak
+			break
+		}
+		if p.Swapped {
+			acquired = append(acquired, targets[i])
+		}
+	}
+	return acquired
+}
+
+func missingReason(pend []*pending, targets []target) []target {
+	var acquired []target
+	for i, p := range pend {
+		if p.Err != nil {
+			break //drtmr:allow lockpair // want "early exit from a lock-CAS result scan" "missing the required reason"
+		}
+		if p.Swapped {
+			acquired = append(acquired, targets[i])
+		}
+	}
+	return acquired
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol builds cmd/drtmr-vet and drives it through the real
+// `go vet -vettool` protocol over the commit-pipeline packages — the
+// acceptance path check.sh gates on. The suite must come back clean: every
+// repo finding is either fixed or carries a reasoned //drtmr:allow.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and re-vets packages; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command unavailable: %v", err)
+	}
+
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "drtmr-vet")
+	if runtime.GOOS == "windows" {
+		tool += ".exe"
+	}
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/drtmr-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building drtmr-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool,
+		"./internal/txn/", "./internal/rdma/", "./internal/cluster/", "./internal/sim/")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=drtmr-vet found unsuppressed diagnostics: %v\n%s", err, out)
+	}
+
+	// The protocol probes cmd/go uses must answer in the expected shapes.
+	out, err := exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("drtmr-vet -flags: %v", err)
+	}
+	for _, name := range []string{"htmregion", "virtualtime", "abortattr", "lockpair", "doorbell"} {
+		if !strings.Contains(string(out), `"`+name+`"`) {
+			t.Errorf("-flags output missing analyzer %q: %s", name, out)
+		}
+	}
+	vout, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("drtmr-vet -V=full: %v", err)
+	}
+	if !strings.Contains(string(vout), " version ") {
+		t.Errorf("-V=full output %q does not follow the tool ID protocol", vout)
+	}
+	_ = os.Remove(tool)
+}

@@ -414,6 +414,7 @@ func (qp *QP) Send(payload []byte) error {
 	select {
 	case qp.remote.inbox <- msg:
 		return nil
+	//drtmr:allow virtualtime queue-full timeout is a backstop against harness deadlock, not protocol time
 	case <-time.After(time.Second):
 		return fmt.Errorf("rdma: send to node %d: recv queue full", qp.remote.node)
 	}
@@ -429,6 +430,7 @@ func (nic *NIC) Recv(timeout time.Duration) (Message, error) {
 	select {
 	case m := <-nic.inbox:
 		return m, nil
+	//drtmr:allow virtualtime recv timeout is a backstop against harness deadlock, not protocol time
 	case <-time.After(timeout):
 		return Message{}, ErrRecvTimeout
 	}

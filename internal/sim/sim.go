@@ -58,7 +58,7 @@ func Spin(d time.Duration) {
 		return
 	}
 	if d >= 100*time.Microsecond {
-		time.Sleep(d)
+		time.Sleep(d) //drtmr:allow virtualtime Spin is the wall-clock delay primitive itself; callers pass virtual durations
 		return
 	}
 	deadline := nanotime() + int64(d)
@@ -67,6 +67,7 @@ func Spin(d time.Duration) {
 	}
 }
 
+//drtmr:allow virtualtime nanotime backs the spin-wait deadline, the one legitimate wall-clock read in sim
 func nanotime() int64 { return time.Now().UnixNano() }
 
 // RateLimiter is a token-bucket byte-rate limiter used to model NIC

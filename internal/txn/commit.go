@@ -419,6 +419,8 @@ func (tx *Txn) localHTMAttempt() error {
 }
 
 // localCommitBody is the code inside the commit HTM region.
+//
+//drtmr:htmbody runs between localHTMAttempt's htmBegin/htmEnd bracket
 func (tx *Txn) localCommitBody(htx *htm.Txn) error {
 	w := tx.w
 	// C.3: validate local reads.
@@ -690,6 +692,8 @@ func (tx *Txn) makeupAttempt(e *wsEntry) bool {
 
 // stampVersions writes low16(seq) into each per-line version slot of the
 // record at off, inside the given HTM transaction.
+//
+//drtmr:htmbody runs inside the makeup/commit HTM regions
 func (tx *Txn) stampVersions(htx *htm.Txn, off uint64, table memstore.TableID, seq uint64) error {
 	tbl := tx.w.E.M.Store.Table(table)
 	v := uint16(seq & 0xFFFF)

@@ -120,18 +120,24 @@ groups:
 				pend[i] = b.PostCAS(w.QP(t.node), t.off+memstore.LockOff, 0, myWord)
 			}
 			_ = tx.execBatch(PhaseFallback, b)
+			// Scan every result before acting on a failure: the batch has
+			// already executed, so CASes posted after a failed verb may
+			// still have swapped — exiting mid-scan would leak those wins
+			// past the back-out set (the c08a886 bug class, fallback edition).
 			var next []fbTarget
 			for i, p := range pend {
 				switch {
 				case p.Err != nil:
 					lockFail = true
-					break groups
 				case p.Swapped:
 					acquired = append(acquired, remaining[i])
 				default:
 					w.maybeReleaseDangling(tx.cfg, remaining[i].node, remaining[i].off, p.Prev)
 					next = append(next, remaining[i])
 				}
+			}
+			if lockFail {
+				break groups
 			}
 			remaining = next
 		}

@@ -115,6 +115,7 @@ func TestYieldInsideHTMPanics(t *testing.T) {
 			defer func() { panicked <- recover() }()
 			wk.htmBegin()
 			defer wk.htmEnd()
+			//drtmr:allow htmregion deliberately trips the runtime yield-in-HTM assert under test
 			wk.yield()
 		}()
 	})

@@ -408,9 +408,8 @@ func (w *Worker) remoteLookup(qp *rdma.QP, tbl *memstore.Table, key uint64) (loc
 	for bucketOff != 0 {
 		b, comp := qp.ReadAsync(bucketOff, 64, img[:])
 		if err := w.await(comp); err != nil {
-			// Stage is StageExec by default; commit-time callers
-			// (resolveWriteOffsets) re-stamp it.
-			return locVal{}, &Error{Reason: AbortNodeDead, Site: uint16(qp.Remote()), Detail: err.Error()}
+			// Commit-time callers (resolveWriteOffsets) re-stamp Stage.
+			return locVal{}, &Error{Reason: AbortNodeDead, Stage: StageExec, Site: uint16(qp.Remote()), Detail: err.Error()}
 		}
 		packed, next, found := memstore.ParseBucket(b, key)
 		if found {

@@ -9,6 +9,22 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Static protocol invariants: the drtmr-vet analyzer suite (internal/lint)
+# enforces the runtime invariants at compile time — no blocking/yield inside
+# HTM regions, no wall clock or global rand in protocol packages, fully
+# attributed txn.Error literals, complete lock-CAS back-out scans, and no
+# single-verb RDMA where a doorbell batch is in scope. Findings are hard
+# failures; suppressions require a reasoned //drtmr:allow.
+go build -o bin/drtmr-vet ./cmd/drtmr-vet
+go vet -vettool="$PWD/bin/drtmr-vet" ./...
+
+# Both halves of the //go:build race / !race pair must keep compiling: the
+# !race half is covered by the plain build+vet above; this compiles (and
+# standard-vets) the race-tagged configuration, so a tag typo can't silently
+# drop a file from either half.
+go vet -race ./...
+
 go test -race ./...
 
 # Strict-serializability gate: a short torture sweep under -race (the full
