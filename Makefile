@@ -27,6 +27,12 @@ help:
 	@echo "    1 = classic one-transaction-per-thread ablation; sweep with"
 	@echo "    'go run ./cmd/drtmr-bench -fig coro' or BenchmarkCoroutineOverlap."
 	@echo "  Engine.DisableVerbBatching: per-verb latency accounting ablation."
+	@echo "  Engine.ContentionMode / harness Options.ContentionMode:"
+	@echo "    hot-record contention manager (default on). off = pure OCC"
+	@echo "    retry ablation; sweep with 'go run ./cmd/drtmr-bench -fig tail'"
+	@echo "    or BenchmarkFigContentionTail. Tuning: Engine.ContentionHotThreshold"
+	@echo "    (aborts before a key is queued), Engine.BackoffMaxExp (retry"
+	@echo "    backoff exponent cap)."
 	@echo "  Observability (internal/obs, see DESIGN.md):"
 	@echo "    drtmr-bench -trace out.json       per-worker event trace (open at"
 	@echo "                                      https://ui.perfetto.dev)"

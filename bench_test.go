@@ -89,3 +89,28 @@ func BenchmarkSiloComparison(b *testing.B) { runFig(b, harness.SiloComparison) }
 // paper): SmallBank throughput as each worker overlaps the RDMA round-trips
 // of 1-8 in-flight transactions.
 func BenchmarkFigCoroutineOverlap(b *testing.B) { runFig(b, harness.FigCoroutineOverlap) }
+
+// BenchmarkFigContentionTail sweeps hot-key skew with the contention manager
+// on vs off (ours, not in the paper). The table mixes units — latency
+// percentiles in microseconds and throughput in txns/s — so it reports the
+// first row with per-column units instead of reportFirstRow's txns/s.
+func BenchmarkFigContentionTail(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		t = harness.FigContentionTail(harness.Smoke)
+	}
+	if len(t.Rows) == 0 || len(t.Rows[0].Values) == 0 {
+		b.Fatal("empty experiment table")
+	}
+	first := t.Rows[0]
+	for i, col := range t.Columns {
+		if i >= len(first.Values) {
+			break
+		}
+		unit := "_us"
+		if strings.HasSuffix(col, "tps") {
+			unit = "_txns/s"
+		}
+		b.ReportMetric(first.Values[i], strings.ReplaceAll(col, " ", "-")+unit)
+	}
+}

@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), or "all"`)
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), "tail" (contention-manager tail sweep), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this path (traced SmallBank run, or the recovery milestones with -fig 20)")
 	torture := flag.Bool("torture", false, "run the strict-serializability torture sweep instead of a figure")
@@ -69,8 +69,9 @@ func main() {
 		"silo": harness.SiloComparison,
 		"coro": harness.FigCoroutineOverlap,
 		"lat":  harness.FigLatencyCDF,
+		"tail": harness.FigContentionTail,
 	}
-	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat"}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat", "tail"}
 
 	runOne := func(name string) {
 		if name == "20" {

@@ -512,6 +512,68 @@ func FigLatencyCDF(scale Scale) Table {
 	return t
 }
 
+// FigContentionTail — hot-record tail latency with the contention manager
+// on vs off (ours, not in the paper): SmallBank sweep over the hot-set
+// fraction (smaller fraction = sharper Zipfian skew = more validate-abort
+// retries per hot record), plus the headline "tpcc-default" row — the
+// default TPC-C configuration whose p99 the manager is meant to tame.
+// Columns report p50/p99 virtual latency and throughput for both modes;
+// notes carry the hot-key queue-wait distribution and the top abort keys.
+func FigContentionTail(scale Scale) Table {
+	t := Table{
+		Title:   "Contention tail: hot-record p99 with contention manager on/off",
+		XLabel:  "workload",
+		Columns: []string{"on p50us", "on p99us", "off p50us", "off p99us", "on tps", "off tps"},
+	}
+	nodes, threads, accts := 6, 8, 10000
+	if scale == Smoke {
+		nodes, threads, accts = 3, 2, 1000
+	}
+	run := func(wl Workload, hot float64, mode txn.ContentionMode) Result {
+		return Run(Options{
+			System: SysDrTMR, Workload: wl,
+			Nodes: nodes, ThreadsPerNode: threads,
+			WarehousesPerNode: threads,
+			SBAccountsPerNode: accts,
+			SBHotFraction:     hot,
+			ContentionMode:    mode,
+			TxPerWorker:       scale.txPerWorker(),
+		})
+	}
+	note := func(label string, r Result) {
+		if q := &r.QueueWait; q.Count() > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s queue waits: n=%d p50=%.1fus p99=%.1fus",
+				label, q.Count(), q.Quantile(0.50)/1e3, q.Quantile(0.99)/1e3))
+		}
+		if s := r.AbortSummary(3); s != "" {
+			t.Notes = append(t.Notes, label+" top aborts: "+s)
+		}
+	}
+	addRow := func(name string, wl Workload, hot float64) {
+		on := run(wl, hot, txn.ContentionOn)
+		off := run(wl, hot, txn.ContentionOff)
+		t.Rows = append(t.Rows, Row{
+			XName: name,
+			Values: []float64{
+				on.Lat.All().Quantile(0.50) / 1e3, on.Lat.All().Quantile(0.99) / 1e3,
+				off.Lat.All().Quantile(0.50) / 1e3, off.Lat.All().Quantile(0.99) / 1e3,
+				on.TotalTPS, off.TotalTPS,
+			},
+		})
+		note(name+" on", on)
+		note(name+" off", off)
+	}
+	fracs := []float64{0.25, 0.04, 0.005}
+	if scale == Smoke {
+		fracs = []float64{0.04}
+	}
+	for _, hot := range fracs {
+		addRow(fmt.Sprintf("sb-hot=%g", hot), WLSmallBank, hot)
+	}
+	addRow("tpcc-default", WLTPCC, 0)
+	return t
+}
+
 // SiloComparison — per-machine throughput: Silo vs a single DrTM+R machine
 // (§7.2's per-machine efficiency check).
 func SiloComparison(scale Scale) Table {

@@ -78,6 +78,10 @@ type Options struct {
 	// SmallBank knobs.
 	SBAccountsPerNode int
 	SBRemoteProb      float64
+	// SBHotFraction overrides the hot-set fraction of the account space
+	// (0 keeps the workload default 0.04). FigContentionTail sweeps it as
+	// the skew knob: smaller fraction = hotter records.
+	SBHotFraction float64
 
 	// CoroutinesPerWorker overrides txn.Engine.CoroutinesPerWorker for
 	// DrTM+R systems: the number of in-flight transaction contexts each
@@ -97,6 +101,12 @@ type Options struct {
 	// DisableVerbBatching forwards the engine's sequential-verb ablation
 	// knob (one full round-trip per verb instead of doorbell batches).
 	DisableVerbBatching bool
+
+	// ContentionMode forwards txn.Engine.ContentionMode (DrTM+R systems).
+	// The zero value is ON — hot-key FIFO gates plus the commutative-delta
+	// write path; txn.ContentionOff is the pure-OCC-retry ablation (under
+	// which workload Adds degrade to read-modify-writes).
+	ContentionMode txn.ContentionMode
 
 	// History records every committed transaction's versioned read/write
 	// sets (DrTM+R systems): Result.History carries one recorder per worker
@@ -219,6 +229,20 @@ type Result struct {
 	OverlapNanos uint64
 	StallNanos   uint64
 	MaxInFlight  uint64
+
+	// Contention-manager aggregates (DrTM+R systems). HotKeys ranks records
+	// by attributed abort count, worst first — the per-key complement of
+	// AbortMatrix. QueueWaits counts hot-key FIFO admissions and QueueWait
+	// is the merged queue-wait histogram (zero-count when nothing queued).
+	HotKeys    []KeyAborts
+	QueueWaits uint64
+	QueueWait  obs.Histogram
+}
+
+// KeyAborts is one record's attributed abort count (Result.HotKeys).
+type KeyAborts struct {
+	Key    txn.HotKey
+	Aborts uint64
 }
 
 // CommitBreakdown renders the per-phase commit-latency breakdown: average
@@ -267,9 +291,48 @@ func (r Result) String() string {
 }
 
 // AbortSummary renders the top abort-attribution cells as
-// "reason@stage→nSITE:count" terms, worst first; empty when nothing aborted.
+// "reason@stage→nSITE:count" terms, worst first, followed by the top-K hot
+// keys ("tTABLE/kKEY:count") so table notes show WHICH records drive the
+// tail, not just reason×stage×site. Empty when nothing aborted.
 func (r Result) AbortSummary(topN int) string {
-	return r.AbortMatrix.Summary(topN, abortReasonName, txn.StageName)
+	s := r.AbortMatrix.Summary(topN, abortReasonName, txn.StageName)
+	if len(r.HotKeys) == 0 {
+		return s
+	}
+	terms := make([]string, 0, topN)
+	for i, hk := range r.HotKeys {
+		if topN > 0 && i >= topN {
+			break
+		}
+		terms = append(terms, fmt.Sprintf("t%d/k%d:%d", hk.Key.Table, hk.Key.Key, hk.Aborts))
+	}
+	hot := "hot keys " + strings.Join(terms, " ")
+	if s == "" {
+		return hot
+	}
+	return s + "; " + hot
+}
+
+// rankHotKeys flattens the merged per-key abort counters, worst first
+// (ties break on table then key so the ordering is deterministic).
+func rankHotKeys(agg map[txn.HotKey]uint64) []KeyAborts {
+	if len(agg) == 0 {
+		return nil
+	}
+	out := make([]KeyAborts, 0, len(agg))
+	for k, v := range agg {
+		out = append(out, KeyAborts{Key: k, Aborts: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Aborts != out[j].Aborts {
+			return out[i].Aborts > out[j].Aborts
+		}
+		if out[i].Key.Table != out[j].Key.Table {
+			return out[i].Key.Table < out[j].Key.Table
+		}
+		return out[i].Key.Key < out[j].Key.Key
+	})
+	return out
 }
 
 func abortReasonName(c uint8) string { return txn.AbortReason(c).String() }
@@ -371,11 +434,15 @@ func buildCluster(o Options, replicas int) (*cluster.Cluster, interface{}) {
 		}
 		return c, wcfg
 	case WLSmallBank:
+		hot := o.SBHotFraction
+		if hot == 0 {
+			hot = 0.04
+		}
 		wcfg := smallbank.Config{
 			AccountsPerNode: o.SBAccountsPerNode,
 			Nodes:           o.Nodes,
 			RemoteProb:      o.SBRemoteProb,
-			HotFraction:     0.04,
+			HotFraction:     hot,
 			InitialBalance:  10000,
 		}
 		for _, m := range c.Machines {
@@ -439,6 +506,7 @@ func runDrTMR(o Options) Result {
 	}
 	for _, e := range engines {
 		e.DisableVerbBatching = o.DisableVerbBatching
+		e.ContentionMode = o.ContentionMode
 		e.Mut = o.Mutations
 	}
 	c.Start()
@@ -478,6 +546,9 @@ func runDrTMR(o Options) Result {
 		abortAgg   obs.AbortMatrix
 		recorders  []*obs.Recorder
 		histories  []*obs.HistoryRecorder
+		hotAgg     = make(map[txn.HotKey]uint64)
+		queueWaits uint64
+		queueHist  obs.Histogram
 	)
 	for n := 0; n < o.Nodes; n++ {
 		for t := 0; t < o.ThreadsPerNode; t++ {
@@ -550,6 +621,11 @@ func runDrTMR(o Options) Result {
 				phaseAgg.AddOverlap(&w.Stats)
 				latAgg.Merge(lat)
 				abortAgg.Merge(&w.Stats.AbortCells)
+				for k, v := range w.Stats.KeyAborts {
+					hotAgg[k] += v
+				}
+				queueWaits += w.Stats.QueueWaits
+				queueHist.Merge(&w.Stats.QueueWaitHist)
 				if w.Rec != nil {
 					recorders = append(recorders, w.Rec)
 				}
@@ -572,6 +648,9 @@ func runDrTMR(o Options) Result {
 	r.MaxInFlight = phaseAgg.CoMaxInFlight
 	r.Lat = latAgg
 	r.AbortMatrix = abortAgg
+	r.HotKeys = rankHotKeys(hotAgg)
+	r.QueueWaits = queueWaits
+	r.QueueWait = queueHist
 	r.Trace = recorders
 	r.History = histories
 	r.applyHistogram()

@@ -194,6 +194,21 @@ func CreateTables(store *memstore.Store, c Config) {
 func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:off+8], v) }
 func getU64(b []byte, off int) uint64    { return binary.LittleEndian.Uint64(b[off : off+8]) }
 
+// Commutative fields (txn.Add offsets). These are the delta-shaped columns
+// of the workload — pure accumulators no transaction branches on — so
+// updates to them are declared as commutative adds instead of
+// read-modify-writes: Payment's warehouse/district/customer updates stop
+// conflicting with each other entirely. next_o_id is NOT here: NewOrder
+// needs its value for the order keys, so it stays a read-modify-write and
+// relies on the contention manager's hot-key queue instead.
+const (
+	WarehouseYTDOff   = 8  // warehouse ytd accumulator
+	DistrictYTDOff    = 8  // district ytd accumulator
+	CustomerBalanceOff = 0 // customer balance (signed; subtract via two's complement)
+	CustomerYTDOff     = 8 // customer ytdPayment accumulator
+	CustomerPayCntOff  = 16 // customer paymentCnt counter
+)
+
 // Warehouse row: [tax, ytd].
 func WarehouseRow(tax, ytd uint64) []byte {
 	b := make([]byte, warehouseSize)

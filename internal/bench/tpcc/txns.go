@@ -225,22 +225,18 @@ func (e *Executor) RunOne() (TxType, error) {
 // new-order and order lines.
 func (e *Executor) NewOrder(p NewOrderParams) error {
 	return e.W.Run(func(tx *txn.Txn) error {
-		wrow, err := tx.Read(TableWarehouse, WKey(p.W))
+		// Only the load-time-immutable tax is used, so a stable (untracked)
+		// read: a tracked read here false-shares the row with Payment's YTD
+		// deltas and validate-aborts for nothing.
+		wrow, err := tx.ReadStable(TableWarehouse, WKey(p.W))
 		if err != nil {
 			return err
 		}
 		_ = WarehouseTax(wrow)
-		drow, err := tx.Read(TableDistrict, DKey(p.W, p.D))
-		if err != nil {
-			return err
-		}
-		oid := DistrictNextOID(drow)
-		d2 := append([]byte(nil), drow...)
-		SetDistrictNextOID(d2, oid+1)
-		if err := tx.Write(TableDistrict, DKey(p.W, p.D), d2); err != nil {
-			return err
-		}
-		if _, err := tx.Read(TableCustomer, CKey(p.W, p.D, p.C)); err != nil {
+		// Customer is consulted for immutable fields only (discount, last
+		// name); a tracked read would false-share with Payment's balance
+		// deltas on the same row.
+		if _, err := tx.ReadStable(TableCustomer, CKey(p.W, p.D, p.C)); err != nil {
 			return err
 		}
 		var total uint64
@@ -262,6 +258,22 @@ func (e *Executor) NewOrder(p NewOrderParams) error {
 			}
 			amounts[i] = price * uint64(it.Qty)
 			total += amounts[i]
+		}
+		// The district sequencer (next_o_id) is the one genuinely contended
+		// read-modify-write in this transaction: every home NewOrder
+		// serializes on it. It is read LAST, after the slow item/stock leg
+		// with its doorbell round-trips, so the window in which a concurrent
+		// NewOrder can invalidate the read is the commit protocol itself,
+		// not the whole execution phase.
+		drow, err := tx.Read(TableDistrict, DKey(p.W, p.D))
+		if err != nil {
+			return err
+		}
+		oid := DistrictNextOID(drow)
+		d2 := append([]byte(nil), drow...)
+		SetDistrictNextOID(d2, oid+1)
+		if err := tx.Write(TableDistrict, DKey(p.W, p.D), d2); err != nil {
+			return err
 		}
 		okey := OKey(p.W, p.D, int(oid))
 		if err := tx.Insert(TableOrder, okey, OrderRow(uint64(p.C), 1, 0, uint64(len(p.Items)))); err != nil {
@@ -285,34 +297,29 @@ func (e *Executor) NewOrder(p NewOrderParams) error {
 }
 
 // Payment: update warehouse.ytd, district.ytd, customer balance (possibly
-// remote), insert a history row.
+// remote), insert a history row. Every update is a pure accumulator bump on
+// the workload's hottest records (warehouse and district rows are shared by
+// every home transaction), so all three go through the commutative-delta
+// path: the transaction carries no read set at all and cannot
+// validate-abort — concurrent Payments commute instead of retrying. With
+// ContentionOff the Adds degrade inside the engine to the read-modify-write
+// shape this function had before (the pure-OCC ablation).
 func (e *Executor) Payment(p PaymentParams) error {
 	return e.W.Run(func(tx *txn.Txn) error {
-		wrow, err := tx.Read(TableWarehouse, WKey(p.W))
-		if err != nil {
+		if err := tx.Add(TableWarehouse, WKey(p.W), WarehouseYTDOff, p.Amount); err != nil {
 			return err
 		}
-		w2 := append([]byte(nil), wrow...)
-		SetWarehouseYTD(w2, WarehouseYTD(w2)+p.Amount)
-		if err := tx.Write(TableWarehouse, WKey(p.W), w2); err != nil {
+		if err := tx.Add(TableDistrict, DKey(p.W, p.D), DistrictYTDOff, p.Amount); err != nil {
 			return err
 		}
-		drow, err := tx.Read(TableDistrict, DKey(p.W, p.D))
-		if err != nil {
+		ck := CKey(p.CW, p.CD, p.C)
+		if err := tx.Add(TableCustomer, ck, CustomerBalanceOff, uint64(-int64(p.Amount))); err != nil {
 			return err
 		}
-		d2 := append([]byte(nil), drow...)
-		SetDistrictYTD(d2, DistrictYTD(d2)+p.Amount)
-		if err := tx.Write(TableDistrict, DKey(p.W, p.D), d2); err != nil {
+		if err := tx.Add(TableCustomer, ck, CustomerYTDOff, p.Amount); err != nil {
 			return err
 		}
-		crow, err := tx.Read(TableCustomer, CKey(p.CW, p.CD, p.C))
-		if err != nil {
-			return err
-		}
-		c2 := append([]byte(nil), crow...)
-		CustomerAddPayment(c2, p.Amount)
-		if err := tx.Write(TableCustomer, CKey(p.CW, p.CD, p.C), c2); err != nil {
+		if err := tx.Add(TableCustomer, ck, CustomerPayCntOff, 1); err != nil {
 			return err
 		}
 		h := make([]byte, historySize)

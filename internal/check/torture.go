@@ -189,6 +189,34 @@ func Cells(o TortureOptions) []Cell {
 			}
 		}
 	}
+	// Hot-key cells: two accounts per node funnel nearly every transaction
+	// through the same records, driving the contention manager's FIFO queue
+	// and commutative-delta commit paths (on) and the pure-OCC retry storm
+	// they replace (off). Both must stay strictly serializable. Half the
+	// transaction budget: the off cell retries each conflict many times.
+	for _, mode := range []txn.ContentionMode{txn.ContentionOn, txn.ContentionOff} {
+		seed := cellSeed(o.Seed, idx)
+		idx++
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("drtmr hot-key contention=%s", mode),
+			Opts: harness.Options{
+				System:              harness.SysDrTMR,
+				Workload:            harness.WLSmallBank,
+				Nodes:               o.Nodes,
+				ThreadsPerNode:      o.ThreadsPerNode,
+				TxPerWorker:         o.TxPerWorker / 2,
+				SBAccountsPerNode:   2,
+				SBRemoteProb:        o.RemoteProb,
+				CoroutinesPerWorker: 4,
+				ContentionMode:      mode,
+				History:             true,
+				Deterministic:       true,
+				Mutations:           o.Mutations,
+				Seed:                seed,
+			},
+			CheckOpts: Options{Strict: true},
+		})
+	}
 	if o.Kill {
 		for _, co := range o.Coroutines {
 			seed := cellSeed(o.Seed, idx)

@@ -1,7 +1,10 @@
 package check
 
 import (
+	"strings"
 	"testing"
+
+	"drtmr/internal/bench/harness"
 )
 
 // TestStaleIncarnationScenario is the targeted stale-incarnation mutation
@@ -62,6 +65,50 @@ func TestTortureSweep(t *testing.T) {
 	}
 	if rep.TxnsChecked < want {
 		t.Fatalf("sweep checked only %d transactions, want >= %d", rep.TxnsChecked, want)
+	}
+}
+
+// TestTortureHotKeyCells drives the seeded hot-key cells directly: with two
+// accounts per node every transaction collides, so the run exercises the
+// contention manager's FIFO queue and commutative deltas (on) and the raw
+// retry storm (off). Both must verify strictly serializable, and the managed
+// run must not burn unboundedly more virtual time than the ablation — the
+// queue converts wasted retry work into bounded waiting, it must not add a
+// pathology of its own.
+func TestTortureHotKeyCells(t *testing.T) {
+	o := TortureOptions{Seed: 5}
+	if testing.Short() {
+		o.TxPerWorker = 60
+	}
+	var onSec, offSec float64
+	for _, c := range Cells(o.defaults()) {
+		if !strings.HasPrefix(c.Name, "drtmr hot-key") {
+			continue
+		}
+		res := harness.Run(c.Opts)
+		chk := Check(res.HistoryTxns(), c.CheckOpts)
+		t.Logf("%s: committed=%d checked=%d virtual=%.3fs queueWaits=%d",
+			c.Name, res.Committed, chk.Txns, res.VirtualSec, res.QueueWaits)
+		if !chk.Ok() {
+			t.Fatalf("%s violations:\n%v", c.Name, chk.Violations)
+		}
+		if res.Committed == 0 {
+			t.Fatalf("%s committed nothing", c.Name)
+		}
+		switch {
+		case strings.HasSuffix(c.Name, "=on"):
+			onSec = res.VirtualSec
+		case strings.HasSuffix(c.Name, "=off"):
+			offSec = res.VirtualSec
+		}
+	}
+	if onSec == 0 || offSec == 0 {
+		t.Fatal("hot-key cells missing from the sweep")
+	}
+	// Generous bound: queueing must not cost more than 3x the pure-retry
+	// ablation's virtual time on the same workload.
+	if onSec > 3*offSec {
+		t.Fatalf("contention manager virtual time unbounded: on=%.3fs vs off=%.3fs", onSec, offSec)
 	}
 }
 

@@ -25,6 +25,12 @@ var AbortAttr = &analysis.Analyzer{
 // abortAttrRequired are the fields every Error literal must name.
 var abortAttrRequired = []string{"Reason", "Stage", "Site"}
 
+// abortAttrKeyed is the keyed-attribution trio: a literal that names any of
+// them claims to attribute the abort to a record, and a partial claim is
+// worse than none — HasKey without Table/Key feeds a zero key to the hot-key
+// detector, Table/Key without HasKey is silently dropped.
+var abortAttrKeyed = []string{"Table", "Key", "HasKey"}
+
 func runAbortAttr(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -54,6 +60,17 @@ func runAbortAttr(pass *analysis.Pass) error {
 			for _, field := range abortAttrRequired {
 				if !have[field] {
 					pass.Reportf(cl.Pos(), "txn.Error literal without %s: the abort lands in the wrong abort-attribution cell — set %s explicitly (or use Txn.abort/abortAt)", field, field)
+				}
+			}
+			anyKeyed := false
+			for _, field := range abortAttrKeyed {
+				anyKeyed = anyKeyed || have[field]
+			}
+			if anyKeyed {
+				for _, field := range abortAttrKeyed {
+					if !have[field] {
+						pass.Reportf(cl.Pos(), "keyed txn.Error literal without %s: Table, Key and HasKey travel together — a partial key misattributes the abort in the hot-key detector (or use Txn.abortOn)", field)
+					}
 				}
 			}
 			return true

@@ -6,6 +6,9 @@ type Error struct {
 	Reason int
 	Stage  uint8
 	Site   uint16
+	Table  uint8
+	Key    uint64
+	HasKey bool
 	Detail string
 }
 
@@ -20,7 +23,24 @@ func good() error {
 }
 
 func goodPositional() error {
-	return &Error{1, 2, 3, "x"} // positional literals set every field
+	return &Error{1, 2, 3, 4, 5, true, "x"} // positional literals set every field
+}
+
+func goodKeyed() error {
+	return &Error{Reason: 1, Stage: 2, Site: 3, Table: 4, Key: 5, HasKey: true}
+}
+
+func goodUnkeyed() error {
+	// Naming none of Table/Key/HasKey is fine: not every abort has a key.
+	return &Error{Reason: 1, Stage: 2, Site: 3}
+}
+
+func badPartialKey() error {
+	return &Error{Reason: 1, Stage: 2, Site: 3, Table: 4, Key: 5} // want "keyed txn.Error literal without HasKey"
+}
+
+func badHasKeyOnly() error {
+	return &Error{Reason: 1, Stage: 2, Site: 3, HasKey: true} // want "keyed txn.Error literal without Table" "keyed txn.Error literal without Key"
 }
 
 func goodOtherType() any {

@@ -63,6 +63,18 @@ func (m *AbortMatrix) Total() uint64 {
 	return t
 }
 
+// StageReasonTotal sums one reason×stage row across all sites. The
+// contention manager's hot-key detector cross-checks candidate keys against
+// it: a key only queues when its aborts come from a reason×stage cell that
+// is a repeat offender, not from a one-off at a fresh site.
+func (m *AbortMatrix) StageReasonTotal(reason, stage uint8) uint64 {
+	var t uint64
+	for _, v := range m.c[clampIdx(int(reason), NumReasons)][clampIdx(int(stage), NumStages)] {
+		t += v
+	}
+	return t
+}
+
 // Cell is one non-zero matrix entry.
 type Cell struct {
 	Reason, Stage uint8

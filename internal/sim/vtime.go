@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -80,8 +81,21 @@ func (c *Clock) Reset() { c.ns.Store(0) }
 // exceeds capacity the returned completion times run ahead of the callers'
 // clocks, which stalls them — in virtual time — exactly like a saturated
 // NIC.
+//
+// The queue is tracked as a BACKLOG (outstanding service time) drained at
+// line rate as requester clocks advance, not as an absolute busy-until
+// stamp. Worker clocks are not mutually synchronized, so an absolute stamp
+// written by a fast-clock requester sits in every slower requester's future
+// and Use would charge them the full clock skew as phantom queueing — a
+// multi-millisecond latency-tail artifact no real NIC exhibits. With a
+// backlog the two formulations are algebraically identical for any single
+// monotone clock (backlog == max(0, busyUntil-now)), but queueing is always
+// measured in the requester's own clock frame: durations transfer between
+// clock domains; stamps do not.
 type Resource struct {
-	busyUntil atomic.Int64
+	mu      sync.Mutex
+	backlog int64 // outstanding service time still queued, in ns
+	lastNow int64 // highest requester clock observed (drain frontier)
 }
 
 // Use reserves dur of service time for a caller whose clock reads now.
@@ -90,19 +104,27 @@ func (r *Resource) Use(now int64, dur time.Duration) int64 {
 	if dur <= 0 {
 		return now
 	}
-	for {
-		cur := r.busyUntil.Load()
-		start := now
-		if cur > start {
-			start = cur
+	r.mu.Lock()
+	if now > r.lastNow {
+		// The server worked off backlog at line rate while the frontier
+		// advanced from lastNow to now.
+		if drained := now - r.lastNow; drained < r.backlog {
+			r.backlog -= drained
+		} else {
+			r.backlog = 0
 		}
-		end := start + int64(dur)
-		if r.busyUntil.CompareAndSwap(cur, end) {
-			return end
-		}
+		r.lastNow = now
 	}
+	end := now + r.backlog + int64(dur)
+	r.backlog += int64(dur)
+	r.mu.Unlock()
+	return end
 }
 
 // BusyUntil reports the resource's current horizon (for utilization
-// reporting).
-func (r *Resource) BusyUntil() int64 { return r.busyUntil.Load() }
+// reporting): the drain frontier plus the work still queued behind it.
+func (r *Resource) BusyUntil() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastNow + r.backlog
+}

@@ -250,6 +250,10 @@ func (tx *Txn) lockRemote(locks []lockTarget) error {
 				return tx.abortAt(locks[i].node, AbortLockFailed, "record %d:%#x relock: %v",
 					locks[i].node, locks[i].off, p.Err)
 			}
+			if tbl, key, ok := tx.keyAt(locks[i].node, locks[i].off); ok {
+				return tx.abortOn(locks[i].node, tbl, key, AbortLockFailed, "record %d:%#x held by %#x",
+					locks[i].node, locks[i].off, p.Prev)
+			}
 			return tx.abortAt(locks[i].node, AbortLockFailed, "record %d:%#x held by %#x",
 				locks[i].node, locks[i].off, p.Prev)
 		}
@@ -303,14 +307,21 @@ func (tx *Txn) validateRemote() error {
 	var wsPend []*rdma.Pending
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if e.local || e.kind != wsUpdate || e.off == 0 {
+		if e.local || (e.kind != wsUpdate && e.kind != wsDelta) || e.off == 0 {
 			continue
 		}
 		if tx.findRS(e.table, e.key) != nil {
 			continue // base comes from the read-set header below
 		}
+		// Deltas fetch the whole record, not just the header: the final
+		// image is the current value plus the pending adds, folded here
+		// under the C.1 lock.
+		n := 24
+		if e.kind == wsDelta {
+			n = w.E.M.Store.Table(e.table).RecBytes
+		}
 		wsIdx = append(wsIdx, i)
-		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
+		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, n))
 	}
 	_ = tx.execBatch(PhaseValidate, b)
 
@@ -325,19 +336,24 @@ func (tx *Txn) validateRemote() error {
 		}
 		h := p.Data
 		if memstore.RecInc(h) != r.inc && !w.E.Mut.SkipRemoteValidate && !w.E.Mut.SkipIncCheck {
-			return tx.abortAt(r.node, AbortValidate, "remote inc changed")
+			return tx.abortOn(r.node, r.table, r.key, AbortValidate, "remote inc changed")
 		}
 		cur := memstore.RecSeq(h)
 		if !tx.seqValidates(r.seq, cur) && !w.E.Mut.SkipRemoteValidate {
-			return tx.abortAt(r.node, AbortValidate, "remote seq %d -> %d", r.seq, cur)
+			return tx.abortOn(r.node, r.table, r.key, AbortValidate, "remote seq %d -> %d", r.seq, cur)
 		}
 		// Record the authoritative base (and incarnation) for co-located
 		// writes.
-		if e := tx.findWS(r.table, r.key); e != nil && !e.local && e.kind == wsUpdate {
+		if e := tx.findWS(r.table, r.key); e != nil && !e.local && (e.kind == wsUpdate || e.kind == wsDelta) {
 			e.baseSeq = cur
 			e.finSeq = tx.finalSeq(cur)
 			e.inc = r.inc
 			e.haveInc = true
+			if e.kind == wsDelta {
+				// The seq check just passed under the C.1 lock, so the
+				// execution-phase copy is the current value: fold over it.
+				e.materializeFrom(r.val)
+			}
 		}
 	}
 	// Blind remote writes: current seq was fetched under the lock.
@@ -351,12 +367,22 @@ func (tx *Txn) validateRemote() error {
 		cur := memstore.RecSeq(h)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
 			// Table 4 C.2 R_WS: cannot overwrite an unreplicated record.
-			return tx.abortAt(e.node, AbortValidate, "remote ws uncommittable")
+			return tx.abortOn(e.node, e.table, e.key, AbortValidate, "remote ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
 		e.inc = memstore.RecInc(h)
 		e.haveInc = true
+		if e.kind == wsDelta {
+			// h is the full record (fetched above). The record is locked,
+			// but a PRIOR local commit's makeup flip can still race the
+			// fetch: a torn value must not become the delta base.
+			if !memstore.VersionsConsistent(h) {
+				return tx.abortOn(e.node, e.table, e.key, AbortValidate, "delta base torn")
+			}
+			tbl := w.E.M.Store.Table(e.table)
+			e.materializeFrom(memstore.GatherValue(h, tbl.Spec.ValueSize))
+		}
 	}
 	return nil
 }
@@ -374,7 +400,7 @@ func (tx *Txn) localHTMCommit() error {
 		}
 	}
 	for i := range tx.ws {
-		if tx.ws[i].local && tx.ws[i].kind == wsUpdate {
+		if tx.ws[i].local && (tx.ws[i].kind == wsUpdate || tx.ws[i].kind == wsDelta) {
 			nLocal++
 		}
 	}
@@ -383,6 +409,7 @@ func (tx *Txn) localHTMCommit() error {
 	}
 	for attempt := 0; attempt < htmRetries; attempt++ {
 		w.Clk.Advance(w.E.Costs.HTMRegion + time.Duration(nLocal)*w.E.Costs.PerValidate)
+		tx.confSet = false
 		err := tx.localHTMAttempt()
 		if err == nil {
 			return nil
@@ -391,14 +418,23 @@ func (tx *Txn) localHTMCommit() error {
 		if errors.As(err, &ae) && ae.Cause == htm.CauseExplicit {
 			switch ae.Code {
 			case abortCodeValidate:
-				return tx.abort(AbortValidate, "local validation failed")
+				return tx.abortConflict(AbortValidate, "local validation failed")
 			case abortCodeWSLocked:
-				return tx.abort(AbortLocked, "local ws record remotely locked")
+				return tx.abortConflict(AbortLocked, "local ws record remotely locked")
 			}
 		}
 		w.backoff(attempt)
 	}
 	return tx.abort(AbortHTM, "commit HTM region exhausted retries")
+}
+
+// abortConflict is abort keyed with the conflict identity the HTM region
+// stamped (setConflict) before its explicit abort, when it stamped one.
+func (tx *Txn) abortConflict(r AbortReason, format string, args ...any) error {
+	if !tx.confSet {
+		return tx.abort(r, format, args...)
+	}
+	return tx.abortOn(tx.w.E.M.ID, tx.confTable, tx.confKey, r, format, args...)
 }
 
 // localHTMAttempt is one C.3+C.4 HTM region attempt, bracketed with
@@ -438,22 +474,25 @@ func (tx *Txn) localCommitBody(htx *htm.Txn) error {
 			return err
 		}
 		if inc != r.inc && !w.E.Mut.SkipLocalValidate && !w.E.Mut.SkipIncCheck {
+			tx.setConflict(r.table, r.key)
 			return htx.Abort(abortCodeValidate)
 		}
 		if !tx.seqValidates(r.seq, cur) && !w.E.Mut.SkipLocalValidate {
+			tx.setConflict(r.table, r.key)
 			return htx.Abort(abortCodeValidate)
 		}
 	}
 	// C.4: apply local updates with seq+1 (odd under replication).
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if !e.local || e.kind != wsUpdate {
+		if !e.local || (e.kind != wsUpdate && e.kind != wsDelta) {
 			continue
 		}
+		tbl := w.E.M.Store.Table(e.table)
 		if e.off == 0 {
-			tbl := w.E.M.Store.Table(e.table)
 			off, ok := tbl.Lookup(e.key)
 			if !ok {
+				tx.setConflict(e.table, e.key)
 				return htx.Abort(abortCodeValidate)
 			}
 			e.off = off
@@ -465,6 +504,7 @@ func (tx *Txn) localCommitBody(htx *htm.Txn) error {
 		if lockW != 0 {
 			// A remote transaction locked this record before our
 			// region began (§4.4's extra check).
+			tx.setConflict(e.table, e.key)
 			return htx.Abort(abortCodeWSLocked)
 		}
 		cur, err := htx.Load64(e.off + memstore.SeqOff)
@@ -472,6 +512,7 @@ func (tx *Txn) localCommitBody(htx *htm.Txn) error {
 			return err
 		}
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
+			tx.setConflict(e.table, e.key)
 			return htx.Abort(abortCodeValidate)
 		}
 		inc, err := htx.Load64(e.off + memstore.IncOff)
@@ -485,7 +526,16 @@ func (tx *Txn) localCommitBody(htx *htm.Txn) error {
 		// never pass through C.2's header fetch.
 		e.inc = inc
 		e.haveInc = true
-		tbl := w.E.M.Store.Table(e.table)
+		if e.kind == wsDelta {
+			// Fold the pending adds over the current value, read inside the
+			// HTM region — strong atomicity makes this the moment the delta
+			// stops commuting and becomes a plain image install.
+			curImg, err := htx.Read(e.off, tbl.RecBytes, nil)
+			if err != nil {
+				return err
+			}
+			e.materializeFrom(memstore.GatherValue(curImg, tbl.Spec.ValueSize))
+		}
 		img := memstore.BuildRecordImage(tbl.Spec.ValueSize, e.buf, inc, newSeq)
 		if err := htx.Write(e.off+8, img[8:]); err != nil {
 			return err
@@ -622,7 +672,9 @@ func (tx *Txn) logRecords() []oplog.Rec {
 		e := &tx.ws[i]
 		var kind uint8
 		switch e.kind {
-		case wsUpdate:
+		case wsUpdate, wsDelta:
+			// Deltas replicate as plain updates: buf was materialized under
+			// the commit critical section before R.1 runs.
 			kind = oplog.KindUpdate
 		case wsInsert:
 			kind = oplog.KindInsert
@@ -720,7 +772,9 @@ func (tx *Txn) writeBackRemote() {
 			continue
 		}
 		switch e.kind {
-		case wsUpdate:
+		case wsUpdate, wsDelta:
+			// Deltas reach here with buf already materialized under the C.1
+			// lock (C.2 or the fallback), so the install is a plain image.
 			if e.finSeq == 0 {
 				e.finSeq = tx.finalSeq(e.baseSeq)
 			}
@@ -797,7 +851,7 @@ func (tx *Txn) commitReadOnly() error {
 			if !r.local {
 				site = r.node
 			}
-			return tx.abortAt(site, AbortValidate, "ro: record changed")
+			return tx.abortOn(site, r.table, r.key, AbortValidate, "ro: record changed")
 		}
 	}
 	return nil

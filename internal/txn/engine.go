@@ -90,6 +90,9 @@ const (
 	StageUnlock
 	StageROValidate
 	StageFallback
+	// StageQueue: waiting for hot-key FIFO admission (contention manager) —
+	// the stage of queue-wait trace spans and queue-timeout aborts.
+	StageQueue
 	NumStages
 )
 
@@ -114,6 +117,8 @@ func StageName(s uint8) string {
 		return PhaseROValidate.String()
 	case StageFallback:
 		return PhaseFallback.String()
+	case StageQueue:
+		return "queue"
 	default:
 		return fmt.Sprintf("stage(%d)", s)
 	}
@@ -149,6 +154,13 @@ type Error struct {
 	Reason AbortReason
 	Stage  uint8
 	Site   uint16
+	// Table/Key name the record whose conflict triggered the abort, when the
+	// abort site knows it (HasKey guards validity — key 0 is a legal key).
+	// They feed the contention manager's hot-key detector and the per-key
+	// abort counter behind Result.AbortSummary's hot-keys term.
+	Table  memstore.TableID
+	Key    uint64
+	HasKey bool
 	Detail string
 }
 
@@ -210,6 +222,16 @@ type Engine struct {
 	// FaRM lineage). 1 disables overlap and reproduces the
 	// one-transaction-per-thread behaviour exactly (the ablation baseline).
 	CoroutinesPerWorker int
+	// ContentionMode selects the hot-record strategy (contention.go): the
+	// zero value enables the hot-key FIFO gates and the commutative-delta
+	// write path; ContentionOff is the pure-OCC-retry ablation.
+	ContentionMode ContentionMode
+	// ContentionHotThreshold is the decayed per-key abort count at which a
+	// key is treated as hot (0 = DefaultContentionHotThreshold).
+	ContentionHotThreshold int
+	// BackoffMaxExp caps Worker.backoff's randomized exponential range at
+	// 2^exp * Costs.Backoff (0 = DefaultBackoffMaxExp).
+	BackoffMaxExp int
 
 	// Mut deliberately breaks protocol steps — the mutation-testing knobs
 	// that prove the strict-serializability checker has teeth. Never set
@@ -217,6 +239,7 @@ type Engine struct {
 	Mut Mutations
 
 	locCache *locCache
+	cm       *contentionManager
 }
 
 // Mutations disables individual commit-protocol steps for mutation testing
@@ -262,6 +285,7 @@ func NewEngine(m *cluster.Machine, part Partitioner, costs CostModel) *Engine {
 		Replicated:          m.Cluster().Spec.Replicas > 1,
 		CoroutinesPerWorker: DefaultCoroutinesPerWorker,
 		locCache:            newLocCache(),
+		cm:                  newContentionManager(),
 	}
 	e.registerRPC()
 	return e
@@ -377,6 +401,16 @@ type Stats struct {
 	CoOverlapNanos uint64
 	CoStallNanos   uint64
 	CoMaxInFlight  uint64
+
+	// Contention-manager counters. KeyAborts counts aborts attributed to a
+	// specific record (whenever the abort carries a key, in every mode) —
+	// the source of Result.AbortSummary's top-K hot keys. QueueWaits /
+	// QueueWaitNanos / QueueWaitHist measure hot-key FIFO admissions that
+	// actually waited (an immediate empty-queue pass-through records nothing).
+	KeyAborts      map[HotKey]uint64
+	QueueWaits     uint64
+	QueueWaitNanos uint64
+	QueueWaitHist  obs.Histogram
 }
 
 // AbortsTotal sums all abort reasons.
@@ -490,7 +524,14 @@ func (tx *Txn) execBatch(phase CommitPhase, b *rdma.Batch) error {
 }
 
 func (w *Worker) backoff(attempt int) {
-	maxExp := 1 << uint(min(attempt, 8))
+	maxE := w.E.BackoffMaxExp
+	if maxE <= 0 {
+		maxE = DefaultBackoffMaxExp
+	}
+	if maxE > 62 {
+		maxE = 62 // 1<<63 overflows int64
+	}
+	maxExp := 1 << uint(min(attempt, maxE))
 	d := time.Duration(1+w.rng.Intn(maxExp)) * w.E.Costs.Backoff
 	w.Clk.Advance(d)
 	w.yield() // let another in-flight transaction (maybe the lock holder) run
@@ -513,11 +554,40 @@ func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
 }
 
 // runLoop is the shared retry loop: run, commit, attribute any abort
-// (stats + reason×stage×site matrix + trace events), back off, retry.
+// (stats + reason×stage×site matrix + trace events), back off, retry. When
+// an abort names a key the hot-key detector sees it (contention.go); once a
+// key is hot the NEXT attempt queues on its FIFO gate first, so hot-record
+// retries take turns instead of re-paying full optimistic executions that
+// trample each other.
 func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error {
+	var (
+		nextGate *keyGate
+		nextKey  HotKey
+	)
 	for attempt := 0; ; attempt++ {
 		if w.gate != nil {
 			w.gate()
+		}
+		var held *keyGate
+		if nextGate != nil {
+			g, hk := nextGate, nextKey
+			nextGate = nil
+			ok, qerr := w.acquireGate(g, hk)
+			switch {
+			case ok:
+				held = g
+			case qerr != nil:
+				// Admission timed out (or this machine died): account it
+				// like any abort, then retry ungated.
+				w.Stats.Aborts[qerr.Reason]++
+				w.Stats.AbortCells.Record(uint8(qerr.Reason), qerr.Stage, int(qerr.Site))
+				w.Stats.Retries++
+				if w.E.M.Dead() {
+					return qerr
+				}
+				w.backoff(attempt)
+				continue
+			}
 		}
 		tx := begin(w)
 		start := w.Clk.Now()
@@ -536,6 +606,9 @@ func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error
 			err = tx.Commit()
 		} else {
 			tx.abandon()
+		}
+		if held != nil {
+			held.release()
 		}
 		if err == nil {
 			w.Stats.Committed++
@@ -560,6 +633,11 @@ func (w *Worker) runLoop(fn func(tx *Txn) error, begin func(*Worker) *Txn) error
 		w.Stats.Retries++
 		if w.Rec != nil {
 			w.Rec.Record(obs.EvTxnAbort, te.Stage, te.Site, uint32(te.Reason), tx.id, start, w.Clk.Now())
+		}
+		if te.HasKey {
+			if g := w.noteAbortKey(te); g != nil {
+				nextGate, nextKey = g, HotKey{Table: te.Table, Key: te.Key}
+			}
 		}
 		if w.E.M.Dead() {
 			// This machine was killed: it is fail-stopped from the cluster's

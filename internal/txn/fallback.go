@@ -69,7 +69,7 @@ func (tx *Txn) fallbackCommit(remoteLocks []lockTarget) error {
 				if e.kind == wsDelete {
 					continue
 				}
-				return tx.abort(AbortValidate, "fallback: local record vanished")
+				return tx.abortOn(w.E.M.ID, e.table, e.key, AbortValidate, "fallback: local record vanished")
 			}
 			e.off = off
 		}
@@ -171,7 +171,7 @@ groups:
 	// in-flight HTM reader we race with).
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if !e.local || e.kind != wsUpdate || e.off == 0 {
+		if !e.local || (e.kind != wsUpdate && e.kind != wsDelta) || e.off == 0 {
 			continue
 		}
 		newSeq := e.baseSeq + 1
@@ -216,14 +216,20 @@ func (tx *Txn) fallbackValidate() error {
 	var wsPend []*rdma.Pending
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if e.kind != wsUpdate || e.off == 0 || e.local {
+		if (e.kind != wsUpdate && e.kind != wsDelta) || e.off == 0 || e.local {
 			continue
 		}
 		if tx.findRS(e.table, e.key) != nil {
 			continue
 		}
+		// Deltas fetch the whole record (as in C.2): the final image is the
+		// current value plus the pending adds, folded under the sorted locks.
+		n := 24
+		if e.kind == wsDelta {
+			n = w.E.M.Store.Table(e.table).RecBytes
+		}
 		wsIdx = append(wsIdx, i)
-		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, 24))
+		wsPend = append(wsPend, b.PostRead(w.QP(e.node), e.off, n))
 	}
 	_ = tx.execBatch(PhaseFallback, b)
 
@@ -251,33 +257,46 @@ func (tx *Txn) fallbackValidate() error {
 			if !r.local {
 				site = r.node
 			}
-			return tx.abortAt(site, AbortValidate, "fallback: record changed")
+			return tx.abortOn(site, r.table, r.key, AbortValidate, "fallback: record changed")
 		}
-		if e := tx.findWS(r.table, r.key); e != nil && e.kind == wsUpdate {
+		if e := tx.findWS(r.table, r.key); e != nil && (e.kind == wsUpdate || e.kind == wsDelta) {
 			e.baseSeq = cur
 			e.finSeq = tx.finalSeq(cur)
 			if !e.local {
 				e.inc = inc
 				e.haveInc = true
 			}
+			if e.kind == wsDelta {
+				// Validation just passed under the sorted locks, so the
+				// execution-phase copy is current: fold the adds over it.
+				e.materializeFrom(r.val)
+			}
 		}
 	}
 	// Local blind writes read memory directly; remote ones use the batch.
 	for i := range tx.ws {
 		e := &tx.ws[i]
-		if e.kind != wsUpdate || e.off == 0 || !e.local {
+		if (e.kind != wsUpdate && e.kind != wsDelta) || e.off == 0 || !e.local {
 			continue
 		}
 		if tx.findRS(e.table, e.key) != nil {
 			continue
 		}
-		h := w.E.M.Eng.ReadNonTx(e.off, 24, hdr[:])
+		tbl := w.E.M.Store.Table(e.table)
+		n := 24
+		if e.kind == wsDelta {
+			n = tbl.RecBytes
+		}
+		h := w.E.M.Eng.ReadNonTx(e.off, n, hdr[:0])
 		cur := memstore.RecSeq(h)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
-			return tx.abort(AbortValidate, "fallback: ws uncommittable")
+			return tx.abortOn(w.E.M.ID, e.table, e.key, AbortValidate, "fallback: ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
+		if e.kind == wsDelta {
+			e.materializeFrom(memstore.GatherValue(h, tbl.Spec.ValueSize))
+		}
 	}
 	for j, i := range wsIdx {
 		e := &tx.ws[i]
@@ -287,12 +306,19 @@ func (tx *Txn) fallbackValidate() error {
 		}
 		cur := memstore.RecSeq(p.Data)
 		if w.E.Replicated && !memstore.SeqIsCommittable(cur) {
-			return tx.abortAt(e.node, AbortValidate, "fallback: ws uncommittable")
+			return tx.abortOn(e.node, e.table, e.key, AbortValidate, "fallback: ws uncommittable")
 		}
 		e.baseSeq = cur
 		e.finSeq = tx.finalSeq(cur)
 		e.inc = memstore.RecInc(p.Data)
 		e.haveInc = true
+		if e.kind == wsDelta {
+			tbl := w.E.M.Store.Table(e.table)
+			if !memstore.VersionsConsistent(p.Data) {
+				return tx.abortOn(e.node, e.table, e.key, AbortValidate, "fallback: delta base torn")
+			}
+			e.materializeFrom(memstore.GatherValue(p.Data, tbl.Spec.ValueSize))
+		}
 	}
 	return nil
 }

@@ -30,7 +30,7 @@ func (tx *Txn) histTxn(invoke uint64, vstart int64, maybe bool) obs.HistTxn {
 	for i := range tx.ws {
 		e := &tx.ws[i]
 		switch e.kind {
-		case wsUpdate:
+		case wsUpdate, wsDelta:
 			t.Ops = append(t.Ops, obs.HistOp{
 				Kind: obs.HistUpdate, Table: uint8(e.table), Key: e.key,
 				Seq: e.finSeq, Inc: e.inc, HaveInc: e.haveInc,

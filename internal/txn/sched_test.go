@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestCoroutineAblationExact(t *testing.T) {
 	if clkPlain != clkCoro {
 		t.Errorf("virtual clock differs: plain=%d coro(1)=%d", clkPlain, clkCoro)
 	}
-	if stPlain != stCoro {
+	if !reflect.DeepEqual(stPlain, stCoro) {
 		t.Errorf("stats differ:\nplain   %+v\ncoro(1) %+v", stPlain, stCoro)
 	}
 	if stCoro.CoYields != 0 || stCoro.CoOverlapNanos != 0 || stCoro.CoMaxInFlight != 0 {

@@ -2,6 +2,7 @@ package txn
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"drtmr/internal/cluster"
@@ -28,7 +29,28 @@ const (
 	wsUpdate wsKind = iota
 	wsInsert
 	wsDelete
+	// wsDelta is a commutative update (Txn.Add): the entry carries add
+	// operations instead of a value; buf is materialized from the record's
+	// current value inside the commit critical section (C.2/C.4/fallback,
+	// with the record locked or HTM-protected), so concurrent deltas
+	// commute instead of conflicting.
+	wsDelta
 )
+
+// fieldDelta is one commutative wrapping add against a little-endian u64
+// field of the value (two's complement makes subtraction an add).
+type fieldDelta struct {
+	off uint32
+	add uint64
+}
+
+// applyDeltaTo folds one delta into a value buffer in place.
+func applyDeltaTo(b []byte, off uint32, add uint64) {
+	if int(off)+8 > len(b) {
+		return
+	}
+	binary.LittleEndian.PutUint64(b[off:], binary.LittleEndian.Uint64(b[off:])+add)
+}
 
 // rsEntry is one read-set record: where it was, and the version observed.
 type rsEntry struct {
@@ -64,6 +86,19 @@ type wsEntry struct {
 	// the remote image from it instead of issuing a second header READ.
 	inc     uint64
 	haveInc bool
+	// deltas holds a wsDelta entry's pending commutative adds.
+	deltas []fieldDelta
+}
+
+// materializeFrom builds a wsDelta entry's final image by folding its
+// pending deltas over the record's current value. Callers must hold the
+// commit critical section for the record (C.1 lock, C.4 HTM region, or the
+// fallback's sorted locks) so cur cannot move before install.
+func (e *wsEntry) materializeFrom(cur []byte) {
+	e.buf = append(e.buf[:0], cur...)
+	for _, d := range e.deltas {
+		applyDeltaTo(e.buf, d.off, d.add)
+	}
 }
 
 // Txn is one user transaction. It is created by Worker.Begin /
@@ -80,6 +115,19 @@ type Txn struct {
 
 	rs []rsEntry
 	ws []wsEntry
+
+	// Conflict identity captured inside the commit HTM region: the region
+	// communicates failures through abort codes only (htx.Abort unwinds), so
+	// localCommitBody stamps the conflicting record here before aborting and
+	// localHTMCommit attaches it to the txn.Error it builds outside.
+	confTable memstore.TableID
+	confKey   uint64
+	confSet   bool
+}
+
+// setConflict records the conflicting record for post-HTM abort attribution.
+func (tx *Txn) setConflict(table memstore.TableID, key uint64) {
+	tx.confTable, tx.confKey, tx.confSet = table, key, true
 }
 
 // Begin starts a read-write transaction. The configuration is snapshotted
@@ -119,6 +167,42 @@ func (tx *Txn) abortAt(node rdma.NodeID, r AbortReason, format string, args ...a
 	return &Error{Reason: r, Stage: tx.stage, Site: uint16(node), Detail: fmt.Sprintf(format, args...)}
 }
 
+// abortOn is abortAt carrying the conflicting record's identity, which feeds
+// the contention manager's hot-key detector and the per-key abort counter.
+func (tx *Txn) abortOn(node rdma.NodeID, table memstore.TableID, key uint64, r AbortReason, format string, args ...any) error {
+	e := tx.abortAt(node, r, format, args...).(*Error)
+	e.Table, e.Key, e.HasKey = table, key, true
+	return e
+}
+
+// keyAt resolves a record offset on node back to the (table, key) this
+// transaction knows it as — used to key aborts raised by offset-level
+// operations (C.1 lock CASes).
+func (tx *Txn) keyAt(node rdma.NodeID, off uint64) (memstore.TableID, uint64, bool) {
+	self := tx.w.E.M.ID
+	for i := range tx.rs {
+		r := &tx.rs[i]
+		n := r.node
+		if r.local {
+			n = self
+		}
+		if n == node && r.off == off {
+			return r.table, r.key, true
+		}
+	}
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		n := e.node
+		if e.local {
+			n = self
+		}
+		if n == node && e.off == off && e.off != 0 {
+			return e.table, e.key, true
+		}
+	}
+	return 0, 0, false
+}
+
 // homeOf resolves a record's placement under this transaction's
 // configuration snapshot.
 func (tx *Txn) homeOf(table memstore.TableID, key uint64) (cluster.ShardID, rdma.NodeID, bool) {
@@ -148,16 +232,32 @@ func (tx *Txn) findRS(table memstore.TableID, key uint64) *rsEntry {
 // Read returns the record's value, tracking it in the read set. Missing
 // keys return ErrNotFound. Reads see the transaction's own buffered writes.
 func (tx *Txn) Read(table memstore.TableID, key uint64) ([]byte, error) {
+	// A pending wsDelta has no value of its own: fall through to a protocol
+	// read (which tracks the record in the read set, giving up the delta's
+	// validation immunity for this record — reading it reintroduces an
+	// ordering dependency) and overlay the pending adds on the result.
+	var dw *wsEntry
 	if w := tx.findWS(table, key); w != nil {
 		switch w.kind {
 		case wsDelete:
 			return nil, ErrNotFound
+		case wsDelta:
+			dw = w
 		default:
 			return append([]byte(nil), w.buf...), nil
 		}
 	}
+	overlay := func(val []byte) []byte {
+		out := append([]byte(nil), val...)
+		if dw != nil {
+			for _, d := range dw.deltas {
+				applyDeltaTo(out, d.off, d.add)
+			}
+		}
+		return out
+	}
 	if r := tx.findRS(table, key); r != nil {
-		return append([]byte(nil), r.val...), nil
+		return overlay(r.val), nil
 	}
 	shard, node, local := tx.homeOf(table, key)
 	var (
@@ -174,7 +274,44 @@ func (tx *Txn) Read(table memstore.TableID, key uint64) ([]byte, error) {
 	}
 	e.shard, e.node = shard, node
 	tx.rs = append(tx.rs, e)
-	return append([]byte(nil), e.val...), nil
+	return overlay(e.val), nil
+}
+
+// ReadStable is a version-consistent read that does NOT enroll the record
+// in the read set: the returned value is a committed snapshot, but commit
+// never re-validates it, so later writes to the record cannot abort this
+// transaction. It exists for fields that are immutable after load (TPC-C
+// w_tax, a customer's discount): record-granular validation otherwise
+// false-shares such rows with writers of unrelated fields — a Payment YTD
+// delta on the warehouse row kills every concurrent NewOrder that glanced
+// at the tax — which is pure tail with no serializability payoff. The
+// caller asserts the fields it uses are immutable; a mutable field read
+// through ReadStable can legitimately be stale by commit time. With
+// ContentionOff it degrades to a plain tracked Read, so the ablation
+// measures exactly this false sharing.
+func (tx *Txn) ReadStable(table memstore.TableID, key uint64) ([]byte, error) {
+	if !tx.w.E.contentionOn() {
+		return tx.Read(table, key)
+	}
+	// A pending own write or an already-tracked read supplies the value the
+	// transaction would observe anyway: delegate rather than re-fetch.
+	if tx.findWS(table, key) != nil || tx.findRS(table, key) != nil {
+		return tx.Read(table, key)
+	}
+	_, node, local := tx.homeOf(table, key)
+	var (
+		e   rsEntry
+		err error
+	)
+	if local {
+		e, err = tx.localRead(table, key)
+	} else {
+		e, err = tx.remoteRead(node, table, key, tx.readOnly)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e.val, nil
 }
 
 // Write buffers a new value for the record (update). The record need not
@@ -189,6 +326,12 @@ func (tx *Txn) Write(table memstore.TableID, key uint64, value []byte) error {
 			return fmt.Errorf("txn: write after delete of key %d", key)
 		}
 		w.buf = append(w.buf[:0], value...)
+		if w.kind == wsDelta {
+			// An absolute write supersedes the pending deltas: the entry
+			// becomes a plain (blind) update carrying this value.
+			w.kind = wsUpdate
+			w.deltas = nil
+		}
 		return nil
 	}
 	shard, node, local := tx.homeOf(table, key)
@@ -196,6 +339,62 @@ func (tx *Txn) Write(table memstore.TableID, key uint64, value []byte) error {
 		kind: wsUpdate, table: table, key: key,
 		shard: shard, node: node, local: local,
 		buf: append([]byte(nil), value...),
+	}
+	if r := tx.findRS(table, key); r != nil {
+		e.off = r.off
+	}
+	tx.ws = append(tx.ws, e)
+	return nil
+}
+
+// Add buffers a commutative delta: at commit, the little-endian u64 field at
+// fieldOff has delta added to it (wrapping; pass the two's complement of a
+// positive amount to subtract). Unlike Read+Write, Add tracks nothing in the
+// read set and carries no base value, so two transactions adding to the same
+// record commute — neither can validate-abort the other. The fold happens
+// inside the commit critical section (C.2 under the C.1 lock, C.4 inside the
+// HTM region, or the fallback under its sorted locks), where the current
+// value cannot move before the install. The record must exist (a missing key
+// surfaces as an abort/ErrNotFound at commit, like other blind writes). With
+// ContentionOff the call degrades to the read-modify-write it replaced, so
+// the ablation reproduces pure-OCC behaviour exactly.
+func (tx *Txn) Add(table memstore.TableID, key uint64, fieldOff int, delta uint64) error {
+	if tx.readOnly {
+		return fmt.Errorf("txn: add in read-only transaction")
+	}
+	tbl := tx.w.E.M.Store.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("txn: unknown table %d", table)
+	}
+	if fieldOff < 0 || fieldOff+8 > tbl.Spec.ValueSize {
+		return fmt.Errorf("txn: add offset %d out of range for table %d", fieldOff, table)
+	}
+	if w := tx.findWS(table, key); w != nil {
+		switch w.kind {
+		case wsDelete:
+			return fmt.Errorf("txn: add after delete of key %d", key)
+		case wsDelta:
+			w.deltas = append(w.deltas, fieldDelta{off: uint32(fieldOff), add: delta})
+			return nil
+		default:
+			// The entry already carries a full value: fold the delta into it.
+			applyDeltaTo(w.buf, uint32(fieldOff), delta)
+			return nil
+		}
+	}
+	if !tx.w.E.contentionOn() {
+		v, err := tx.Read(table, key)
+		if err != nil {
+			return err
+		}
+		applyDeltaTo(v, uint32(fieldOff), delta)
+		return tx.Write(table, key, v)
+	}
+	shard, node, local := tx.homeOf(table, key)
+	e := wsEntry{
+		kind: wsDelta, table: table, key: key,
+		shard: shard, node: node, local: local,
+		deltas: []fieldDelta{{off: uint32(fieldOff), add: delta}},
 	}
 	if r := tx.findRS(table, key); r != nil {
 		e.off = r.off
@@ -288,7 +487,7 @@ func (tx *Txn) localRead(table memstore.TableID, key uint64) (rsEntry, error) {
 		}
 		tx.w.backoff(attempt)
 	}
-	return rsEntry{}, tx.abort(AbortLocked, "local record %d/%d stayed locked", table, key)
+	return rsEntry{}, tx.abortOn(tx.w.E.M.ID, table, key, AbortLocked, "local record %d/%d stayed locked", table, key)
 }
 
 // localReadAttempt is one HTM-protected snapshot attempt (Fig 5). The whole
@@ -397,7 +596,7 @@ func (tx *Txn) remoteRead(node rdma.NodeID, table memstore.TableID, key uint64, 
 			val: memstore.GatherValue(img, tbl.Spec.ValueSize),
 		}, nil
 	}
-	return rsEntry{}, tx.abortAt(node, AbortStale, "remote record %d/%d never stabilized", table, key)
+	return rsEntry{}, tx.abortOn(node, table, key, AbortStale, "remote record %d/%d never stabilized", table, key)
 }
 
 // remoteLookup walks the remote hash index with one-sided RDMA READs.

@@ -40,6 +40,12 @@ go test -run '^$' -fuzz FuzzRedoRoundtrip -fuzztime 5s ./internal/cluster/
 # the baseline's iteration count for the log.
 go test ./internal/txn/ -run '^$' -bench BenchmarkTraceOverhead -benchtime 200x
 
+# Contention-manager gate: the tail sweep runs both ContentionMode settings
+# through the hot-key queue and commutative-delta commit paths (named
+# explicitly so a benchmark-filter change can't silently drop it; the
+# catch-all pass below also includes it).
+go test -run '^$' -bench BenchmarkFigContentionTail -benchtime 1x .
+
 # Smoke-run every benchmark once: the figure benchmarks drive the full
 # harness (including the coroutine-overlap sweep), so this catches
 # experiment-path regressions that unit tests miss.
