@@ -22,6 +22,13 @@ help:
 	@echo "               violating cell prints its deterministic replay seed)"
 	@echo ""
 	@echo "Knobs:"
+	@echo "  Engine.Protocol / harness Options.Protocol / drtmr-bench -protocol:"
+	@echo "    commit protocol by registry name (default drtmr = the paper's"
+	@echo "    HTM pipeline; farm = FaRM-style one-sided log-append: write-set"
+	@echo "    locks only, lock-checking validation, replicate-before-install,"
+	@echo "    no HTM commit region). Head-to-head sweep: 'go run"
+	@echo "    ./cmd/drtmr-bench -fig proto' or BenchmarkFigProtocolMatrix;"
+	@echo "    conformance battery: TestProtocolConformance* (internal/txn)."
 	@echo "  Engine.CoroutinesPerWorker / harness Options.CoroutinesPerWorker:"
 	@echo "    in-flight transaction contexts per worker (default 4)."
 	@echo "    1 = classic one-transaction-per-thread ablation; sweep with"
@@ -72,6 +79,8 @@ bench:
 # event phases and per-track monotone timestamps before reporting success).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run 'TestProtocolConformance' -count=1 ./internal/txn/
+	$(GO) run ./cmd/drtmr-bench -smoke -fig proto
 	$(GO) run ./cmd/drtmr-bench -smoke -trace smoke-trace.json
 	@rm -f smoke-trace.json
 

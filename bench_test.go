@@ -90,6 +90,43 @@ func BenchmarkSiloComparison(b *testing.B) { runFig(b, harness.SiloComparison) }
 // of 1-8 in-flight transactions.
 func BenchmarkFigCoroutineOverlap(b *testing.B) { runFig(b, harness.FigCoroutineOverlap) }
 
+// BenchmarkFigProtocolMatrix runs the commit-protocol head-to-head (ours,
+// not in the paper): DrTM+R's HTM pipeline vs the FaRM-style one-sided
+// log-append protocol on replicated SmallBank, swept over remote probability
+// and read-only share. Mixed units per column: throughput in txns/s, p99 in
+// microseconds, read-only verbs per 100 transactions, and remote-CPU wakeup
+// counts at pure read participants (must measure 0 for both protocols).
+func BenchmarkFigProtocolMatrix(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		t = harness.FigProtocolMatrix(harness.Smoke)
+	}
+	if len(t.Rows) == 0 || len(t.Rows[0].Values) == 0 {
+		b.Fatal("empty experiment table")
+	}
+	first := t.Rows[0]
+	for i, col := range t.Columns {
+		if i >= len(first.Values) {
+			break
+		}
+		unit := "_count"
+		switch {
+		case strings.HasSuffix(col, "tps"):
+			unit = "_txns/s"
+		case strings.HasSuffix(col, "p99us"):
+			unit = "_us"
+		case strings.Contains(col, "rov"):
+			unit = "_verbs/100txn"
+		}
+		b.ReportMetric(first.Values[i], strings.ReplaceAll(col, " ", "-")+unit)
+	}
+	for _, r := range t.Rows {
+		if r.Values[6] != 0 || r.Values[7] != 0 {
+			b.Fatalf("row %s: nonzero read-only wakeups (drtmr=%g farm=%g)", r.XName, r.Values[6], r.Values[7])
+		}
+	}
+}
+
 // BenchmarkFigContentionTail sweeps hot-key skew with the contention manager
 // on vs off (ours, not in the paper). The table mixes units — latency
 // percentiles in microseconds and throughput in txns/s — so it reports the

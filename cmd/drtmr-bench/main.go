@@ -8,8 +8,10 @@
 //	drtmr-bench -fig 10             # Fig 10: TPC-C vs machines, all systems
 //	drtmr-bench -fig 16 -smoke      # quick, scaled-down run
 //	drtmr-bench -fig 20             # recovery timeline (wall clock)
+//	drtmr-bench -fig proto          # commit-protocol matrix: drtmr vs farm
 //	drtmr-bench -fig all
 //	drtmr-bench -trace out.json     # traced SmallBank run, Perfetto JSON
+//	drtmr-bench -trace f.json -protocol farm  # same, FaRM-style commit
 //	drtmr-bench -fig 20 -trace r.json  # recovery milestones as a trace
 //	drtmr-bench -torture -seed 42   # strict-serializability torture sweep
 //	drtmr-bench -torture -mutate    # checker self-test on broken protocols
@@ -29,17 +31,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"drtmr/internal/bench/harness"
 	"drtmr/internal/check"
 	"drtmr/internal/obs"
+	"drtmr/internal/txn"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), "tail" (contention-manager tail sweep), or "all"`)
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), "tail" (contention-manager tail sweep), "proto" (commit-protocol matrix), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this path (traced SmallBank run, or the recovery milestones with -fig 20)")
+	protocol := flag.String("protocol", "", `commit protocol for -trace runs: "" = drtmr (the HTM pipeline), "farm" = the one-sided log-append pipeline; "proto" figures sweep both`)
 	torture := flag.Bool("torture", false, "run the strict-serializability torture sweep instead of a figure")
 	mutate := flag.Bool("mutate", false, "with -torture: run the checker self-test against deliberately broken protocols")
 	seed := flag.Uint64("seed", 3, "torture sweep seed (a violating seed replays deterministically)")
@@ -48,6 +53,13 @@ func main() {
 
 	if *torture {
 		os.Exit(runTorture(*mutate, *seed, *txPerWorker))
+	}
+	if *protocol != "" {
+		if _, ok := txn.ProtocolByName(*protocol); !ok {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q (registered: %s)\n",
+				*protocol, strings.Join(txn.Protocols(), ", "))
+			os.Exit(2)
+		}
 	}
 
 	scale := harness.Full
@@ -68,10 +80,11 @@ func main() {
 		"6t":   harness.Table6,
 		"silo": harness.SiloComparison,
 		"coro": harness.FigCoroutineOverlap,
-		"lat":  harness.FigLatencyCDF,
-		"tail": harness.FigContentionTail,
+		"lat":   harness.FigLatencyCDF,
+		"tail":  harness.FigContentionTail,
+		"proto": harness.FigProtocolMatrix,
 	}
-	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat", "tail"}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat", "tail", "proto"}
 
 	runOne := func(name string) {
 		if name == "20" {
@@ -98,7 +111,7 @@ func main() {
 	}
 
 	if *traceOut != "" && *fig != "20" {
-		runTraced(*traceOut, *smoke)
+		runTraced(*traceOut, *smoke, *protocol)
 		return
 	}
 	if *fig == "all" {
@@ -138,10 +151,11 @@ func runTorture(mutate bool, seed uint64, txPerWorker int) int {
 
 // runTraced runs one SmallBank experiment with per-worker tracing on and
 // exports every worker's event ring as a Chrome trace.
-func runTraced(path string, smoke bool) {
+func runTraced(path string, smoke bool, protocol string) {
 	o := harness.Options{
 		System:              harness.SysDrTMR,
 		Workload:            harness.WLSmallBank,
+		Protocol:            protocol,
 		SBRemoteProb:        0.10,
 		CoroutinesPerWorker: 2,
 		Trace:               true,

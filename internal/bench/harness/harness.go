@@ -82,6 +82,15 @@ type Options struct {
 	// (0 keeps the workload default 0.04). FigContentionTail sweeps it as
 	// the skew knob: smaller fraction = hotter records.
 	SBHotFraction float64
+	// SBReadOnlyFrac overrides the read-only (Balance) share of the
+	// SmallBank mix (0 keeps the default mix). FigProtocolMatrix sweeps it:
+	// read-only share is exactly where the commit protocols differ most.
+	SBReadOnlyFrac float64
+
+	// Protocol selects the commit protocol by registry name for DrTM+R
+	// systems ("" = txn.DefaultProtocol, the DrTM+R HTM pipeline; "farm" =
+	// the one-sided log-append pipeline). Baseline systems ignore it.
+	Protocol string
 
 	// CoroutinesPerWorker overrides txn.Engine.CoroutinesPerWorker for
 	// DrTM+R systems: the number of in-flight transaction contexts each
@@ -229,6 +238,15 @@ type Result struct {
 	OverlapNanos uint64
 	StallNanos   uint64
 	MaxInFlight  uint64
+
+	// Read-only footprint aggregates (DrTM+R systems; see txn.Stats). ROVerbs
+	// counts one-sided commit verbs spent on records read but not written —
+	// the per-protocol cost of a read-only record. ROWakeups counts CPU
+	// deliveries (RPCs, log appends) to machines participating only as
+	// read sources; both shipped protocols keep it at zero by construction,
+	// and the figure reports the measured value rather than assuming it.
+	ROVerbs   uint64
+	ROWakeups uint64
 
 	// Contention-manager aggregates (DrTM+R systems). HotKeys ranks records
 	// by attributed abort count, worst first — the per-key complement of
@@ -443,6 +461,7 @@ func buildCluster(o Options, replicas int) (*cluster.Cluster, interface{}) {
 			Nodes:           o.Nodes,
 			RemoteProb:      o.SBRemoteProb,
 			HotFraction:     hot,
+			ReadOnlyFrac:    o.SBReadOnlyFrac,
 			InitialBalance:  10000,
 		}
 		for _, m := range c.Machines {
@@ -508,6 +527,7 @@ func runDrTMR(o Options) Result {
 		e.DisableVerbBatching = o.DisableVerbBatching
 		e.ContentionMode = o.ContentionMode
 		e.Mut = o.Mutations
+		e.Protocol = o.Protocol
 	}
 	c.Start()
 
@@ -649,6 +669,8 @@ func runDrTMR(o Options) Result {
 	r.Lat = latAgg
 	r.AbortMatrix = abortAgg
 	r.HotKeys = rankHotKeys(hotAgg)
+	r.ROVerbs = phaseAgg.ROVerbs
+	r.ROWakeups = phaseAgg.ROWakeups
 	r.QueueWaits = queueWaits
 	r.QueueWait = queueHist
 	r.Trace = recorders

@@ -87,6 +87,16 @@ type Config struct {
 	RemoteProb float64
 	// HotRatio of accounts receive most requests (skew).
 	HotFraction float64
+	// ReadOnlyFrac, when >0, overrides the standard mix's read-only share:
+	// Balance is drawn with this probability and the five read-write types
+	// keep their relative weights for the remainder. It also unlocks two
+	// read-footprint behaviours the protocol-matrix figure needs: Balance
+	// reads a possibly-remote account (RemoteProb), and SendPayment
+	// audit-reads the destination's savings record — a record that stays in
+	// the read set without ever being written, which is exactly where the
+	// commit protocols' verb costs diverge. 0 keeps the standard mix (and
+	// its exact draw sequence) untouched.
+	ReadOnlyFrac float64
 	// InitialBalance per account (both tables).
 	InitialBalance uint64
 }
@@ -179,8 +189,26 @@ func NewGen(cfg Config, home cluster.ShardID, seed uint64) *Gen {
 	return &Gen{cfg: cfg, home: home, rng: sim.NewRand(seed)}
 }
 
-// NextType draws from the standard mix.
+// NextType draws from the standard mix, or — when Config.ReadOnlyFrac is
+// set — draws Balance with that probability and one of the five read-write
+// types (relative weights preserved) otherwise. The default path keeps its
+// exact draw sequence so existing seeded runs replay unchanged.
 func (g *Gen) NextType() TxType {
+	if g.cfg.ReadOnlyFrac > 0 {
+		if g.rng.Bool(g.cfg.ReadOnlyFrac) {
+			return TxBalance
+		}
+		// Read-write weights sum to 85 (Mix minus Balance's 15).
+		p := g.rng.Intn(85)
+		acc := 0
+		for t := 0; t < int(numTxTypes)-1; t++ {
+			acc += Mix[t]
+			if p < acc {
+				return TxType(t)
+			}
+		}
+		return TxSendPayment
+	}
 	p := g.rng.Intn(100)
 	acc := 0
 	for t := 0; t < int(numTxTypes); t++ {
@@ -226,6 +254,10 @@ type Params struct {
 	Amount uint64
 	// Distributed reports whether Acct2 is on a different machine.
 	Distributed bool
+	// AuditRead makes SendPayment read the destination's savings balance
+	// (a read-only record in a read-write transaction) before crediting.
+	// Set only under Config.ReadOnlyFrac > 0.
+	AuditRead bool
 }
 
 // Next generates the next transaction's parameters.
@@ -233,6 +265,11 @@ func (g *Gen) Next() Params {
 	t := g.NextType()
 	p := Params{Type: t, Amount: uint64(1 + g.rng.Intn(100))}
 	p.Acct1 = g.account(g.home)
+	if t == TxBalance && g.cfg.ReadOnlyFrac > 0 && g.rng.Bool(g.cfg.RemoteProb) {
+		shard := g.remoteShard()
+		p.Acct1 = g.account(shard)
+		p.Distributed = shard != g.home
+	}
 	if t == TxSendPayment || t == TxAmalgamate {
 		shard2 := g.home
 		if g.rng.Bool(g.cfg.RemoteProb) {
@@ -245,6 +282,9 @@ func (g *Gen) Next() Params {
 			if g.cfg.Partitioner()(TableChecking, p.Acct2) != shard2 {
 				p.Acct2 = p.Acct1 - 1
 			}
+		}
+		if t == TxSendPayment && g.cfg.ReadOnlyFrac > 0 {
+			p.AuditRead = true
 		}
 	}
 	return p
@@ -309,6 +349,16 @@ func Execute(w *txn.Worker, p Params) error {
 			bal := DecBalance(c1)
 			if bal < p.Amount {
 				return nil
+			}
+			if p.AuditRead {
+				// Destination standing check: the savings record enters the
+				// read set and is never written — the read-only-record case
+				// the commit protocols price differently.
+				s2, err := tx.Read(TableSavings, p.Acct2)
+				if err != nil {
+					return err
+				}
+				_ = DecBalance(s2)
 			}
 			// The debit needs the funds check; the credit to the (often
 			// hot, often remote) destination is a commutative add.

@@ -40,6 +40,15 @@ type TortureOptions struct {
 	Batching     []bool
 	FallbackProb []float64 // HTM spurious-abort probability (fallback pressure)
 
+	// Protocols lists extra commit protocols to sweep AFTER the default
+	// drtmr matrix: each named protocol gets a reduced matrix (coroutine ×
+	// batching at zero fallback pressure, one fallback-pressure cell, the
+	// hot-key contention pair, and — under Kill — a replicated kill cell).
+	// nil sweeps ["farm"]; an empty non-nil slice sweeps none. The drtmr
+	// cells always come first with unchanged seeds, so existing violating-
+	// seed replays stay valid.
+	Protocols []string
+
 	// Kill adds replicated (3-way) cells that kill a machine mid-run.
 	Kill bool
 	// KillTxPerWorker sizes the kill cells (they are slower: wall-clock
@@ -81,6 +90,9 @@ func (o TortureOptions) defaults() TortureOptions {
 	}
 	if o.KillTxPerWorker == 0 {
 		o.KillTxPerWorker = 150
+	}
+	if o.Protocols == nil {
+		o.Protocols = []string{"farm"}
 	}
 	return o
 }
@@ -247,6 +259,116 @@ func Cells(o TortureOptions) []Cell {
 				// strict checks would false-flag.
 				CheckOpts: Options{Strict: false, Replicated: true},
 			})
+		}
+	}
+	// Extra commit protocols sweep a reduced matrix after every drtmr cell
+	// (idx keeps counting, so drtmr cell seeds are unchanged by this block).
+	// The coroutine × batching grid runs at zero HTM pressure — a protocol
+	// like farm has no HTM commit region, so fallback pressure only matters
+	// as background noise, covered by one dedicated cell.
+	for _, proto := range o.Protocols {
+		for _, co := range o.Coroutines {
+			for _, batch := range o.Batching {
+				seed := cellSeed(o.Seed, idx)
+				idx++
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("%s coro=%d batch=%v", proto, co, batch),
+					Opts: harness.Options{
+						System:              harness.SysDrTMR,
+						Workload:            harness.WLSmallBank,
+						Protocol:            proto,
+						Nodes:               o.Nodes,
+						ThreadsPerNode:      o.ThreadsPerNode,
+						TxPerWorker:         o.TxPerWorker,
+						SBAccountsPerNode:   o.AccountsPerNode,
+						SBRemoteProb:        o.RemoteProb,
+						CoroutinesPerWorker: co,
+						DisableVerbBatching: !batch,
+						History:             true,
+						Deterministic:       true,
+						Mutations:           o.Mutations,
+						Seed:                seed,
+					},
+					CheckOpts: Options{Strict: true},
+				})
+			}
+		}
+		// HTM spurious aborts as background noise (execution-phase regions).
+		{
+			seed := cellSeed(o.Seed, idx)
+			idx++
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s coro=4 batch=true htm-noise=0.15", proto),
+				Opts: harness.Options{
+					System:              harness.SysDrTMR,
+					Workload:            harness.WLSmallBank,
+					Protocol:            proto,
+					Nodes:               o.Nodes,
+					ThreadsPerNode:      o.ThreadsPerNode,
+					TxPerWorker:         o.TxPerWorker,
+					SBAccountsPerNode:   o.AccountsPerNode,
+					SBRemoteProb:        o.RemoteProb,
+					CoroutinesPerWorker: 4,
+					History:             true,
+					Deterministic:       true,
+					Mutations:           o.Mutations,
+					Seed:                seed,
+					HTM:                 htm.Config{SpuriousAbortProb: 0.15, Seed: seed ^ 0xA5A5},
+				},
+				CheckOpts: Options{Strict: true},
+			})
+		}
+		for _, mode := range []txn.ContentionMode{txn.ContentionOn, txn.ContentionOff} {
+			seed := cellSeed(o.Seed, idx)
+			idx++
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s hot-key contention=%s", proto, mode),
+				Opts: harness.Options{
+					System:              harness.SysDrTMR,
+					Workload:            harness.WLSmallBank,
+					Protocol:            proto,
+					Nodes:               o.Nodes,
+					ThreadsPerNode:      o.ThreadsPerNode,
+					TxPerWorker:         o.TxPerWorker / 2,
+					SBAccountsPerNode:   2,
+					SBRemoteProb:        o.RemoteProb,
+					CoroutinesPerWorker: 4,
+					ContentionMode:      mode,
+					History:             true,
+					Deterministic:       true,
+					Mutations:           o.Mutations,
+					Seed:                seed,
+				},
+				CheckOpts: Options{Strict: true},
+			})
+		}
+		if o.Kill {
+			for _, co := range o.Coroutines {
+				seed := cellSeed(o.Seed, idx)
+				idx++
+				cells = append(cells, Cell{
+					Name: fmt.Sprintf("%s/r=3 coro=%d KILL node %d", proto, co, o.Nodes-1),
+					Opts: harness.Options{
+						System:              harness.SysDrTMR3,
+						Workload:            harness.WLSmallBank,
+						Protocol:            proto,
+						Nodes:               o.Nodes,
+						ThreadsPerNode:      o.ThreadsPerNode,
+						TxPerWorker:         o.KillTxPerWorker,
+						SBAccountsPerNode:   o.AccountsPerNode,
+						SBRemoteProb:        o.RemoteProb,
+						CoroutinesPerWorker: co,
+						History:             true,
+						Mutations:           o.Mutations,
+						Seed:                seed,
+						KillAfter:           12 * time.Millisecond,
+						KillNode:            o.Nodes - 1,
+						Lease:               80 * time.Millisecond,
+						HeartbeatEvery:      8 * time.Millisecond,
+					},
+					CheckOpts: Options{Strict: false, Replicated: true},
+				})
+			}
 		}
 	}
 	return cells

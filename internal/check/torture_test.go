@@ -124,3 +124,37 @@ func TestTortureCellReplay(t *testing.T) {
 			a.Committed, a.Check.Txns, b.Committed, b.Check.Txns)
 	}
 }
+
+// TestTortureFarmCellReplay is the same replay property for the appended
+// farm cells: a farm torture cell is a pure function of its embedded seed.
+// It also pins the sweep layout — farm cells exist and come AFTER every
+// drtmr cell, so drtmr cell indices (and therefore seeds) are unchanged by
+// the protocol extension.
+func TestTortureFarmCellReplay(t *testing.T) {
+	cells := Cells(TortureOptions{Seed: 11, TxPerWorker: 60})
+	first := -1
+	for i, c := range cells {
+		isFarm := strings.HasPrefix(c.Name, "farm ")
+		if isFarm && first < 0 {
+			first = i
+		}
+		if !isFarm && first >= 0 && strings.HasPrefix(c.Name, "drtmr") {
+			t.Fatalf("drtmr cell %q at index %d after farm cells began at %d", c.Name, i, first)
+		}
+	}
+	if first < 0 {
+		t.Fatal("no farm cells in the default sweep")
+	}
+	c := cells[first]
+	if c.Opts.Protocol != "farm" {
+		t.Fatalf("farm cell %q carries Protocol %q", c.Name, c.Opts.Protocol)
+	}
+	a, b := RunCell(c), RunCell(c)
+	if a.Committed != b.Committed || a.Check.Txns != b.Check.Txns {
+		t.Fatalf("farm replay diverged: %d/%d txns vs %d/%d",
+			a.Committed, a.Check.Txns, b.Committed, b.Check.Txns)
+	}
+	if !a.Check.Ok() {
+		t.Fatalf("farm cell violations:\n%v", a.Check.Violations)
+	}
+}

@@ -15,10 +15,17 @@ import (
 // information without any test failing. The blessed constructors
 // (Txn.abort/abortAt) satisfy the rule by construction; this analyzer
 // catches the ad-hoc literal someone adds on a new abort path.
+//
+// It also enforces the CommitProtocol abort contract: a method on a type
+// implementing the package-scope CommitProtocol interface must not mint
+// untyped errors (fmt.Errorf, errors.New) — every error a protocol returns
+// crosses the retry loop, which switches on *txn.Error to classify the
+// abort; an untyped error silently becomes a non-retryable failure with no
+// attribution cell at all. errors.Is/As and wrapping helpers remain fine.
 var AbortAttr = &analysis.Analyzer{
 	Name:          "abortattr",
 	Doc:           "require txn.Error literals to set Reason, Stage and Site (abort-attribution completeness)",
-	PackageFilter: isTxnPackage,
+	PackageFilter: isProtocolPackage,
 	Run:           runAbortAttr,
 }
 
@@ -32,6 +39,7 @@ var abortAttrRequired = []string{"Reason", "Stage", "Site"}
 var abortAttrKeyed = []string{"Table", "Key", "HasKey"}
 
 func runAbortAttr(pass *analysis.Pass) error {
+	checkProtocolMethods(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			cl, ok := n.(*ast.CompositeLit)
@@ -77,6 +85,65 @@ func runAbortAttr(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkProtocolMethods flags fmt.Errorf / errors.New calls inside methods of
+// CommitProtocol implementations. The interface is resolved by name from the
+// package scope (shape-independent, so fixtures can declare their own).
+func checkProtocolMethods(pass *analysis.Pass) {
+	iface := commitProtocolInterface(pass.Pkg)
+	if iface == nil {
+		return
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || isTestFile(pass, fd) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+		if !ok || !implementsCommitProtocol(tv.Type, iface) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name := pkgLevelCallee(pass.TypesInfo, call)
+			if (path == "fmt" && name == "Errorf") || (path == "errors" && name == "New") {
+				pass.Reportf(call.Pos(), "%s.%s in CommitProtocol method %s: protocol errors must be *txn.Error so the retry loop can classify the abort — use Txn.abort/abortAt/abortOn", path, name, fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// commitProtocolInterface finds a package-scope interface named
+// CommitProtocol (nil when the package declares none).
+func commitProtocolInterface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup("CommitProtocol")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsCommitProtocol reports whether the receiver type (or its pointer)
+// satisfies the interface.
+func implementsCommitProtocol(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return false
+	}
+	return types.Implements(types.NewPointer(t), iface)
 }
 
 // isAbortErrorType reports whether the composite literal builds a struct

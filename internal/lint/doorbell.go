@@ -21,7 +21,7 @@ import (
 var Doorbell = &analysis.Analyzer{
 	Name:          "doorbell",
 	Doc:           "flag raw single-verb QP.Read/Write/CAS calls where an rdma.Batch is in scope (doorbell batching regression guard)",
-	PackageFilter: isTxnPackage,
+	PackageFilter: isProtocolPackage,
 	Run:           runDoorbell,
 }
 

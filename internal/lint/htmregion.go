@@ -26,7 +26,7 @@ import (
 var HTMRegion = &analysis.Analyzer{
 	Name:          "htmregion",
 	Doc:           "forbid blocking, yielding, I/O, and shared-state heap growth inside htmBegin/htmEnd HTM regions",
-	PackageFilter: isTxnPackage,
+	PackageFilter: isProtocolPackage,
 	Run:           runHTMRegion,
 }
 

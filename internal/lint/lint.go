@@ -56,9 +56,13 @@ func inProtocolPackages(path string) bool {
 	return false
 }
 
-// isTxnPackage restricts an analyzer to the transaction layer, where the
-// commit pipeline and the Error type live.
-func isTxnPackage(path string) bool { return path == "drtmr/internal/txn" }
+// isProtocolPackage restricts an analyzer to the transaction layer — the
+// commit pipeline, the Error type, and any CommitProtocol implementation
+// package nested under it (a protocol split into internal/txn/<proto> must
+// keep the same invariants as code living in internal/txn itself).
+func isProtocolPackage(path string) bool {
+	return path == "drtmr/internal/txn" || strings.HasPrefix(path, "drtmr/internal/txn/")
+}
 
 // calleeFunc resolves a call expression to the *types.Func it invokes
 // (function, method, or qualified package function); nil for builtins,

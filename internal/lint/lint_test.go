@@ -33,8 +33,9 @@ func TestDoorbell(t *testing.T) {
 }
 
 // TestPackageFilters pins the analyzer scoping: the commit-pipeline checks
-// stay inside internal/txn, determinism covers every protocol package, and
-// nothing fires on the harness-external packages (cmd, examples, lint).
+// cover internal/txn AND any protocol package nested under it, determinism
+// covers every protocol package, and nothing fires on the harness-external
+// packages (cmd, examples, lint).
 func TestPackageFilters(t *testing.T) {
 	cases := []struct {
 		path        string
@@ -42,6 +43,8 @@ func TestPackageFilters(t *testing.T) {
 		virtualTime bool
 	}{
 		{"drtmr/internal/txn", true, true},
+		{"drtmr/internal/txn/farmproto", true, true},
+		{"drtmr/internal/txnhelpers", false, false},
 		{"drtmr/internal/rdma", false, true},
 		{"drtmr/internal/bench/harness", false, true},
 		{"drtmr/internal/lint", false, false},

@@ -28,7 +28,7 @@ import (
 var LockPair = &analysis.Analyzer{
 	Name:          "lockpair",
 	Doc:           "lock-word CAS results must be fully scanned and every won lock recorded in the back-out set",
-	PackageFilter: isTxnPackage,
+	PackageFilter: isProtocolPackage,
 	Run:           runLockPair,
 }
 

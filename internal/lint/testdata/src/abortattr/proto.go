@@ -1,0 +1,77 @@
+// Fixture for abortattr's CommitProtocol rule: methods on types implementing
+// the package-scope CommitProtocol interface must not mint untyped errors —
+// the retry loop classifies aborts by switching on *txn.Error, so an
+// fmt.Errorf/errors.New escaping a protocol method becomes an unclassified,
+// unattributed failure.
+package abortattr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CommitProtocol mirrors the real interface's shape (resolved by name, so
+// the fixture declares its own).
+type CommitProtocol interface {
+	Name() string
+	Commit() error
+}
+
+type goodProto struct{}
+
+func (goodProto) Name() string { return "good" }
+func (goodProto) Commit() error {
+	return &Error{Reason: 1, Stage: 2, Site: 3}
+}
+
+type badProto struct{}
+
+func (badProto) Name() string { return "bad" }
+func (badProto) Commit() error {
+	if false {
+		return errors.New("lock failed") // want "errors.New in CommitProtocol method Commit"
+	}
+	return fmt.Errorf("validate failed: %d", 7) // want "fmt.Errorf in CommitProtocol method Commit"
+}
+
+// helper is a non-interface method on a protocol type: still covered — the
+// error it returns flows out through the interface methods.
+func (badProto) helper() error {
+	return errors.New("helper") // want "errors.New in CommitProtocol method helper"
+}
+
+type ptrProto struct{}
+
+func (*ptrProto) Name() string { return "ptr" }
+func (p *ptrProto) Commit() error {
+	return fmt.Errorf("ptr receiver") // want "fmt.Errorf in CommitProtocol method Commit"
+}
+
+type notAProto struct{}
+
+// Commit on a type that does NOT implement CommitProtocol (no Name): the
+// rule does not apply.
+func (notAProto) Commit() error {
+	return fmt.Errorf("plain helper type")
+}
+
+type allowedProto struct{}
+
+func (allowedProto) Name() string { return "allowed" }
+func (allowedProto) Commit() error {
+	//drtmr:allow abortattr wrapping an external resource error that never reaches the retry loop
+	return fmt.Errorf("resource: %v", 1)
+}
+
+// errors.Is/As and wrapped *Error returns stay legal in protocol methods.
+type inspectingProto struct{}
+
+func (inspectingProto) Name() string { return "inspecting" }
+func (inspectingProto) Commit() error {
+	err := goodProto{}.Commit()
+	var te *Error
+	if errors.As(err, &te) || errors.Is(err, nil) {
+		return te
+	}
+	return nil
+}

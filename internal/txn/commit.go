@@ -21,6 +21,21 @@ type lockTarget struct {
 	off  uint64
 }
 
+// drtmrProto is the paper's hybrid HTM+RDMA commit pipeline (Fig 7) behind
+// the CommitProtocol interface — the default protocol. It locks BOTH read
+// and write sets remotely (local HTM protection does not start until C.3),
+// validates under those locks, runs one HTM region over local metadata, and
+// under replication installs local updates at an odd "uncommittable"
+// sequence number until the log entries are durable (§5.1's optimistic
+// replication), flipping them even in R.2.
+type drtmrProto struct{}
+
+// Name implements CommitProtocol.
+func (drtmrProto) Name() string { return DefaultProtocol }
+
+// ReadOnlyCommit implements CommitProtocol: §4.5's lock-free protocol.
+func (drtmrProto) ReadOnlyCommit(tx *Txn) error { return tx.commitReadOnly() }
+
 // Commit runs the six-step commit phase (Fig 7) plus optimistic replication
 // (§5.1):
 //
@@ -33,11 +48,7 @@ type lockTarget struct {
 //	R.2 makeup: flip local records to committable (+1 → even)
 //	C.5 write back remote writes (committable seq) with RDMA WRITE
 //	C.6 unlock remote records with RDMA CAS
-func (tx *Txn) Commit() error {
-	if tx.readOnly || len(tx.ws) == 0 {
-		tx.stage = StageROValidate
-		return tx.commitReadOnly()
-	}
+func (proto drtmrProto) Commit(tx *Txn) error {
 	w := tx.w
 
 	tx.stage = StageLock
@@ -49,6 +60,15 @@ func (tx *Txn) Commit() error {
 	// explains why even reads are locked — local HTM protection doesn't
 	// start until C.3).
 	locks := tx.remoteLockSet()
+	// Read-only-participant accounting: each lock target the write set does
+	// not cover costs this protocol a C.1 lock CAS and a C.6 unlock CAS on a
+	// record the transaction merely read (C.2's validation READ is counted
+	// at its own site).
+	for _, lt := range locks {
+		if !tx.writesAt(lt.node, lt.off) {
+			w.Stats.ROVerbs += 2
+		}
+	}
 	if err := tx.lockRemote(locks); err != nil {
 		return err
 	}
@@ -56,21 +76,21 @@ func (tx *Txn) Commit() error {
 
 	// --- C.2: validate remote reads; fetch base seqs of remote writes.
 	tx.stage = StageValidate
-	if err := tx.validateRemote(); err != nil {
+	if err := proto.validateRemote(tx); err != nil {
 		unlock()
 		return err
 	}
 
 	// --- C.3 + C.4: HTM region over local metadata.
 	tx.stage = StageLocalHTM
-	if err := tx.localHTMCommit(); err != nil {
+	if err := proto.localHTMCommit(tx); err != nil {
 		var te *Error
 		if errors.As(err, &te) && te.Reason == AbortHTM {
 			// Fallback handler (§6.1): locking protocol without HTM.
 			// It owns the rest of the pipeline, including unlock.
 			w.Stats.Fallbacks++
 			tx.stage = StageFallback
-			return tx.fallbackCommit(locks)
+			return proto.fallbackCommit(tx, locks)
 		}
 		unlock()
 		return err
@@ -91,7 +111,7 @@ func (tx *Txn) Commit() error {
 
 	// --- R.2: makeup — local records become committable.
 	if w.E.Replicated {
-		tx.makeupLocal()
+		proto.makeupLocal(tx)
 	}
 
 	// --- C.5: write back remote updates with their final seq.
@@ -294,7 +314,7 @@ func (tx *Txn) seqValidates(seen, cur uint64) bool {
 // write, then all checks against the returned headers. The fetched headers
 // also carry each record's incarnation, which is cached on the write-set
 // entry so C.5 never re-reads it.
-func (tx *Txn) validateRemote() error {
+func (proto drtmrProto) validateRemote(tx *Txn) error {
 	w := tx.w
 	b := w.newBatch()
 	rsPend := make([]*rdma.Pending, len(tx.rs))
@@ -333,6 +353,9 @@ func (tx *Txn) validateRemote() error {
 		}
 		if p.Err != nil {
 			return tx.abortAt(r.node, AbortNodeDead, "validate: %v", p.Err)
+		}
+		if tx.findWS(r.table, r.key) == nil {
+			w.Stats.ROVerbs++ // validation READ on a record we only read
 		}
 		h := p.Data
 		if memstore.RecInc(h) != r.inc && !w.E.Mut.SkipRemoteValidate && !w.E.Mut.SkipIncCheck {
@@ -391,7 +414,7 @@ func (tx *Txn) validateRemote() error {
 // and applying the local (update) write set with seq+1. Bounded retries;
 // validation failures abort the transaction, repeated hardware aborts
 // escalate to the fallback handler.
-func (tx *Txn) localHTMCommit() error {
+func (proto drtmrProto) localHTMCommit(tx *Txn) error {
 	w := tx.w
 	nLocal := 0
 	for i := range tx.rs {
@@ -410,7 +433,7 @@ func (tx *Txn) localHTMCommit() error {
 	for attempt := 0; attempt < htmRetries; attempt++ {
 		w.Clk.Advance(w.E.Costs.HTMRegion + time.Duration(nLocal)*w.E.Costs.PerValidate)
 		tx.confSet = false
-		err := tx.localHTMAttempt()
+		err := proto.localHTMAttempt(tx)
 		if err == nil {
 			return nil
 		}
@@ -440,7 +463,7 @@ func (tx *Txn) abortConflict(r AbortReason, format string, args ...any) error {
 // localHTMAttempt is one C.3+C.4 HTM region attempt, bracketed with
 // htmBegin/htmEnd so the coroutine scheduler can assert that the region
 // never spans a yield point.
-func (tx *Txn) localHTMAttempt() error {
+func (proto drtmrProto) localHTMAttempt(tx *Txn) error {
 	w := tx.w
 	w.htmBegin()
 	defer w.htmEnd()
@@ -448,7 +471,7 @@ func (tx *Txn) localHTMAttempt() error {
 	if w.Rec != nil {
 		htx.Trace(w.Rec, &w.Clk, tx.id)
 	}
-	if err := tx.localCommitBody(htx); err != nil {
+	if err := proto.localCommitBody(tx, htx); err != nil {
 		return err
 	}
 	return htx.Commit()
@@ -457,7 +480,7 @@ func (tx *Txn) localHTMAttempt() error {
 // localCommitBody is the code inside the commit HTM region.
 //
 //drtmr:htmbody runs between localHTMAttempt's htmBegin/htmEnd bracket
-func (tx *Txn) localCommitBody(htx *htm.Txn) error {
+func (proto drtmrProto) localCommitBody(tx *Txn, htx *htm.Txn) error {
 	w := tx.w
 	// C.3: validate local reads.
 	for i := range tx.rs {
@@ -553,15 +576,24 @@ func (tx *Txn) finalSeq(base uint64) uint64 {
 	return base + 1
 }
 
-// applyInsertsDeletes applies structural mutations after validation: local
-// ones directly, remote ones shipped to the host machine (§4.3). Under
-// replication, fresh inserts start uncommittable (seq=1) until R.2/C.5.
+// applyInsertsDeletes applies structural mutations with drtmrProto's
+// initial sequence numbers: under replication, fresh inserts start
+// uncommittable (seq=1) until R.2/C.5.
 func (tx *Txn) applyInsertsDeletes() {
-	w := tx.w
 	initialSeq := uint64(0)
-	if w.E.Replicated {
+	if tx.w.E.Replicated {
 		initialSeq = 1
 	}
+	tx.applyInsertsDeletesSeq(initialSeq)
+}
+
+// applyInsertsDeletesSeq applies structural mutations after validation:
+// local ones directly, remote ones shipped to the host machine (§4.3).
+// Fresh inserts start at initialSeq — protocols that make log entries
+// durable BEFORE applying (farm) insert directly at the final committable
+// sequence number; drtmrProto inserts uncommittable and flips later.
+func (tx *Txn) applyInsertsDeletesSeq(initialSeq uint64) {
+	w := tx.w
 	for i := range tx.ws {
 		e := &tx.ws[i]
 		switch e.kind {
@@ -575,6 +607,7 @@ func (tx *Txn) applyInsertsDeletes() {
 					e.off = off
 				}
 			} else {
+				tx.countWakeup(e.node)
 				off, ok := w.rpcInsert(e.node, e.table, e.shard, e.key, e.buf, initialSeq)
 				if ok {
 					e.off = off
@@ -585,6 +618,7 @@ func (tx *Txn) applyInsertsDeletes() {
 				tbl := w.E.M.Store.Table(e.table)
 				_ = tbl.Delete(e.key)
 			} else {
+				tx.countWakeup(e.node)
 				w.rpcDelete(e.node, e.table, e.key)
 			}
 		}
@@ -642,6 +676,7 @@ func (tx *Txn) replicate() []ringToken {
 	pb := w.newBatch()
 	var appends []pendingAppend
 	for node := range targets {
+		tx.countWakeup(node)
 		wr := w.E.M.LogWriter(node)
 		tk, pend, err := wr.AppendPayload(w.QP(node), pb, entry)
 		if err != nil {
@@ -696,7 +731,7 @@ func (tx *Txn) logRecords() []oplog.Rec {
 // makeupLocal is R.2: flip local updates (and fresh local inserts) from odd
 // to even — committable — re-stamping the per-line versions. Each record is
 // flipped in its own small HTM region for atomicity against local readers.
-func (tx *Txn) makeupLocal() {
+func (proto drtmrProto) makeupLocal(tx *Txn) {
 	w := tx.w
 	for i := range tx.ws {
 		e := &tx.ws[i]
@@ -707,7 +742,7 @@ func (tx *Txn) makeupLocal() {
 			if attempt > 0 {
 				w.backoff(attempt)
 			}
-			if tx.makeupAttempt(e) {
+			if proto.makeupAttempt(tx, e) {
 				break
 			}
 		}
@@ -717,7 +752,7 @@ func (tx *Txn) makeupLocal() {
 // makeupAttempt is one R.2 seq-flip inside its own HTM region, bracketed
 // with htmBegin/htmEnd for the scheduler's no-yield-in-region assertion.
 // It reports whether the record has settled at its final sequence number.
-func (tx *Txn) makeupAttempt(e *wsEntry) bool {
+func (proto drtmrProto) makeupAttempt(tx *Txn, e *wsEntry) bool {
 	w := tx.w
 	w.htmBegin()
 	defer w.htmEnd()
@@ -827,6 +862,7 @@ func (tx *Txn) commitReadOnly() error {
 	for i := range tx.rs {
 		if !tx.rs[i].local {
 			pend[i] = b.PostRead(w.QP(tx.rs[i].node), tx.rs[i].off, 24)
+			w.Stats.ROVerbs++ // every read-only validation READ hits a pure read participant
 		}
 	}
 	_ = tx.execBatch(PhaseROValidate, b)

@@ -232,6 +232,11 @@ type Engine struct {
 	// BackoffMaxExp caps Worker.backoff's randomized exponential range at
 	// 2^exp * Costs.Backoff (0 = DefaultBackoffMaxExp).
 	BackoffMaxExp int
+	// Protocol selects the commit pipeline by registered CommitProtocol name
+	// ("" = DefaultProtocol, the DrTM+R seqlock-replication pipeline; "farm"
+	// = the one-sided log-append protocol). The execution layer is
+	// protocol-agnostic; only Txn.Commit dispatches on this.
+	Protocol string
 
 	// Mut deliberately breaks protocol steps — the mutation-testing knobs
 	// that prove the strict-serializability checker has teeth. Never set
@@ -411,6 +416,18 @@ type Stats struct {
 	QueueWaits     uint64
 	QueueWaitNanos uint64
 	QueueWaitHist  obs.Histogram
+
+	// Read-only-participant accounting (the protocol-matrix figure).
+	// ROVerbs counts one-sided commit-pipeline verbs addressed to records
+	// the transaction read but did not write: drtmrProto pays 3 per such
+	// record (C.1 lock CAS + C.2 validation READ + C.6 unlock CAS), the
+	// farm protocol 1 (a validation READ). ROWakeups counts remote-CPU
+	// deliveries (RPCs, redo-log appends) to pure read participants — nodes
+	// hosting none of the transaction's writes and owing it no replication
+	// duty. Both protocols keep reads fully one-sided, so ROWakeups stays
+	// zero; it is measured rather than assumed (Txn.countWakeup).
+	ROVerbs   uint64
+	ROWakeups uint64
 }
 
 // AbortsTotal sums all abort reasons.
@@ -429,6 +446,8 @@ func (s *Stats) AddPhases(o *Stats) {
 		s.Phases[i].Batches += o.Phases[i].Batches
 		s.Phases[i].Nanos += o.Phases[i].Nanos
 	}
+	s.ROVerbs += o.ROVerbs
+	s.ROWakeups += o.ROWakeups
 }
 
 // AddOverlap accumulates another worker's coroutine overlap counters

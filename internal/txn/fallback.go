@@ -33,7 +33,7 @@ type fbTarget struct {
 // carries the transaction through replication, write-back and unlock.
 // Preconditions: remote locks from C.1 are held (and are released here
 // first); the HTM region has NOT applied any local update.
-func (tx *Txn) fallbackCommit(remoteLocks []lockTarget) error {
+func (proto drtmrProto) fallbackCommit(tx *Txn, remoteLocks []lockTarget) error {
 	w := tx.w
 	// Step 1: release owned remote locks.
 	tx.unlockRemote(remoteLocks)
@@ -159,7 +159,7 @@ groups:
 	}
 
 	// Step 4: validate the whole read set under locks.
-	if err := tx.fallbackValidate(); err != nil {
+	if err := proto.fallbackValidate(tx); err != nil {
 		unlockAll()
 		return err
 	}
@@ -190,7 +190,7 @@ groups:
 	var toks []ringToken
 	if w.E.Replicated {
 		toks = tx.replicate()
-		tx.makeupLocal()
+		proto.makeupLocal(tx)
 	}
 	tx.writeBackRemote()
 	unlockAll()
@@ -203,7 +203,7 @@ groups:
 // fallbackValidate checks every read-set record and fetches write bases, all
 // under locks. Remote header READs (read set + blind write bases) share one
 // doorbell batch; local records read memory directly.
-func (tx *Txn) fallbackValidate() error {
+func (proto drtmrProto) fallbackValidate(tx *Txn) error {
 	w := tx.w
 	b := w.newBatch()
 	rsPend := make([]*rdma.Pending, len(tx.rs))

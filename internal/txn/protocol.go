@@ -1,0 +1,179 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+
+	"drtmr/internal/rdma"
+)
+
+// CommitProtocol is a pluggable commit pipeline. The execution layer —
+// read/write sets, deltas, the coroutine scheduler, contention gates — is
+// protocol-agnostic: user code runs Txn.Read/Write/Add/Insert/Delete exactly
+// the same way regardless of which protocol later commits the transaction.
+// A protocol owns everything from Txn.Commit on: locking, validation,
+// replication/logging, install, write-back and unlock, plus whatever
+// fallback interplay it needs.
+//
+// Contract (what the rest of the system relies on):
+//
+//   - Commit is called on read-write transactions with a non-empty write
+//     set; ReadOnlyCommit on read-only (or write-free) ones. Either returns
+//     nil once the transaction is durably committed under the engine's
+//     replication mode, or a *Error carrying full Reason/Stage/Site (and
+//     Table/Key when the conflicting record is known) abort attribution —
+//     drtmr-vet's abortattr analyzer enforces the attribution statically.
+//   - On abort, no lock may stay held and no write may be visible: the
+//     retry loop re-executes from scratch.
+//   - A committed transaction's records must carry their final sequence
+//     number (Txn.finalSeq) so histories stay comparable across protocols
+//     and the strict-serializability checker needs no per-protocol cases.
+//   - Replicated engines must make log entries durable (Txn.replicate)
+//     before a record version becomes committable to OTHER transactions,
+//     and must tolerate the §5.2 recovery obligations: dangling locks left
+//     by dead machines are released passively (Worker.maybeReleaseDangling)
+//     and log ring truncation happens only after MarkCommitted.
+//   - Implementations must be stateless values: one registered instance is
+//     shared by every engine and worker concurrently.
+type CommitProtocol interface {
+	// Name is the registry key ("drtmr", "farm") — the value of
+	// Engine.Protocol and the harness -protocol knob.
+	Name() string
+	// Commit runs the full read-write commit pipeline.
+	Commit(tx *Txn) error
+	// ReadOnlyCommit validates a read-only transaction.
+	ReadOnlyCommit(tx *Txn) error
+}
+
+// DefaultProtocol is the protocol an Engine with an empty Protocol field
+// uses: the paper's DrTM+R seqlock-replication pipeline.
+const DefaultProtocol = "drtmr"
+
+var (
+	protoMu  sync.RWMutex
+	protoReg = make(map[string]CommitProtocol)
+)
+
+// RegisterProtocol adds a commit protocol to the registry. Registering two
+// protocols under one name is a programming error and panics.
+func RegisterProtocol(p CommitProtocol) {
+	protoMu.Lock()
+	defer protoMu.Unlock()
+	name := p.Name()
+	if _, dup := protoReg[name]; dup {
+		panic("txn: duplicate commit protocol " + name)
+	}
+	protoReg[name] = p
+}
+
+// ProtocolByName resolves a registered protocol.
+func ProtocolByName(name string) (CommitProtocol, bool) {
+	protoMu.RLock()
+	defer protoMu.RUnlock()
+	p, ok := protoReg[name]
+	return p, ok
+}
+
+// Protocols lists the registered protocol names, sorted — the conformance
+// suite iterates it so a new protocol gets correctness coverage for free.
+func Protocols() []string {
+	protoMu.RLock()
+	defer protoMu.RUnlock()
+	names := make([]string, 0, len(protoReg))
+	for n := range protoReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterProtocol(drtmrProto{})
+	RegisterProtocol(farmProto{})
+}
+
+// protocol resolves this engine's commit protocol. An unknown name panics:
+// it is a configuration error that must fail loudly, not a runtime abort.
+func (e *Engine) protocol() CommitProtocol {
+	name := e.Protocol
+	if name == "" {
+		name = DefaultProtocol
+	}
+	p, ok := ProtocolByName(name)
+	if !ok {
+		panic("txn: unknown commit protocol " + name)
+	}
+	return p
+}
+
+// Commit dispatches to the engine's commit protocol. Read-only transactions
+// (and read-write ones that wrote nothing) take the protocol's read-only
+// path; everything else runs the full pipeline.
+func (tx *Txn) Commit() error {
+	p := tx.w.E.protocol()
+	if tx.readOnly || len(tx.ws) == 0 {
+		tx.stage = StageROValidate
+		return p.ReadOnlyCommit(tx)
+	}
+	return p.Commit(tx)
+}
+
+// writesAt reports whether the write set covers the record at (node, off) —
+// the read-only-participant test for lock targets (Stats.ROVerbs).
+func (tx *Txn) writesAt(node rdma.NodeID, off uint64) bool {
+	if off == 0 {
+		return false
+	}
+	self := tx.w.E.M.ID
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		n := e.node
+		if e.local {
+			n = self
+		}
+		if n == node && e.off == off {
+			return true
+		}
+	}
+	return false
+}
+
+// countWakeup records a remote-CPU delivery (RPC or redo-log append) bound
+// for node if node is a pure read participant of this transaction: it hosts
+// read-set records but none of the write set, and owes the transaction no
+// replication duty (not a primary or backup of any written shard). Both
+// protocols derive their delivery targets from the write set alone, so the
+// counter stays zero — the protocol-matrix figure reports it as a measured
+// invariant rather than an assumption (FaRM's defining property: read-only
+// participants never wake a remote CPU).
+func (tx *Txn) countWakeup(node rdma.NodeID) {
+	w := tx.w
+	self := w.E.M.ID
+	cfg := w.E.M.Config()
+	for i := range tx.ws {
+		e := &tx.ws[i]
+		n := e.node
+		if e.local {
+			n = self
+		}
+		if n == node {
+			return
+		}
+		if int(e.shard) < cfg.NumShards() {
+			if cfg.PrimaryOf(e.shard) == node {
+				return
+			}
+			for _, b := range cfg.BackupsOf(e.shard) {
+				if b == node {
+					return
+				}
+			}
+		}
+	}
+	for i := range tx.rs {
+		if !tx.rs[i].local && tx.rs[i].node == node {
+			w.Stats.ROWakeups++
+			return
+		}
+	}
+}

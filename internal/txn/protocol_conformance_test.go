@@ -1,0 +1,390 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/memstore"
+	"drtmr/internal/sim"
+)
+
+// Protocol conformance suite: every registered CommitProtocol must pass the
+// same correctness battery — bank-invariant conservation (plain and
+// replicated), the uncommittable-read block, dangling-lock release after a
+// kill, coroutine-yield atomicity, and the lock-leak back-out regression. A
+// third protocol registered tomorrow inherits all of it for free via
+// forEachProtocol.
+
+// forEachProtocol runs f once per registered commit protocol.
+func forEachProtocol(t *testing.T, f func(t *testing.T, proto string)) {
+	for _, name := range Protocols() {
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
+// setProtocol selects the commit protocol on every engine of the world.
+func (w *world) setProtocol(name string) {
+	for _, e := range w.engines {
+		e.Protocol = name
+	}
+}
+
+// TestProtocolRegistry pins the registry surface: both shipped protocols
+// are present, resolvable, and self-consistent about their names.
+func TestProtocolRegistry(t *testing.T) {
+	names := Protocols()
+	want := map[string]bool{"drtmr": false, "farm": false}
+	for _, n := range names {
+		if _, seen := want[n]; seen {
+			want[n] = true
+		}
+		p, ok := ProtocolByName(n)
+		if !ok {
+			t.Fatalf("Protocols() lists %q but ProtocolByName misses it", n)
+		}
+		if p.Name() != n {
+			t.Fatalf("protocol %q reports name %q", n, p.Name())
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("protocol %q not registered (have %v)", n, names)
+		}
+	}
+	if _, ok := ProtocolByName("no-such-protocol"); ok {
+		t.Fatal("ProtocolByName resolved a bogus name")
+	}
+}
+
+// TestProtocolConformanceBankInvariant: concurrent mixed local/distributed
+// transfers from every machine conserve total value under each protocol,
+// with spurious HTM aborts exercising the retry paths (and, for drtmr, the
+// fallback handler).
+func TestProtocolConformanceBankInvariant(t *testing.T) {
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		t.Run("plain", func(t *testing.T) { runProtocolBank(t, proto, 1) })
+		t.Run("replicated", func(t *testing.T) { runProtocolBank(t, proto, 3) })
+	})
+}
+
+func runProtocolBank(t *testing.T, proto string, replicas int) {
+	const (
+		nodes     = 3
+		accounts  = 24
+		transfers = 80
+		initial   = 1000
+	)
+	w := newWorld(t, nodes, replicas, htm.Config{SpuriousAbortProb: 0.02, Seed: 11})
+	w.setProtocol(proto)
+	w.load(t, accounts, initial)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		for wi := 0; wi < 2; wi++ {
+			wg.Add(1)
+			go func(node, id int) {
+				defer wg.Done()
+				wk := w.engines[node].NewWorker(id)
+				rng := newTestRand(uint64(node*10 + id + 1))
+				for i := 0; i < transfers; i++ {
+					from := rng.next() % accounts
+					to := rng.next() % accounts
+					if from == to {
+						continue
+					}
+					err := wk.Run(func(tx *Txn) error {
+						fv, err := tx.Read(tblAcct, from)
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Read(tblAcct, to)
+						if err != nil {
+							return err
+						}
+						amt := uint64(1 + rng.next()%5)
+						if decBal(fv) < amt {
+							return nil
+						}
+						if err := tx.Write(tblAcct, from, encBal(decBal(fv)-amt)); err != nil {
+							return err
+						}
+						return tx.Write(tblAcct, to, encBal(decBal(tv)+amt))
+					})
+					if err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				}
+			}(n, wi)
+		}
+	}
+	wg.Wait()
+	if total := w.totalOnPrimaries(accounts); total != accounts*initial {
+		t.Fatalf("%s: value not conserved: %d != %d", proto, total, accounts*initial)
+	}
+}
+
+// TestProtocolConformanceUncommittableBlock: a record parked at an odd
+// (mid-replication) sequence number must block readers under EVERY protocol
+// — the Table 4 rule is a property of the store's seqlock encoding, not of
+// any one pipeline.
+func TestProtocolConformanceUncommittableBlock(t *testing.T) {
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		w := newWorld(t, 2, 3, htm.Config{})
+		w.setProtocol(proto)
+		w.load(t, 2, 100)
+		m := w.c.Machines[0]
+		off, _ := m.Store.Table(tblAcct).Lookup(0)
+		m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
+
+		wk := w.engines[0].NewWorker(0)
+		tx := wk.Begin()
+		_, err := tx.Read(tblAcct, 0)
+		var te *Error
+		if !errors.As(err, &te) || te.Reason != AbortLocked {
+			t.Fatalf("%s: read of uncommittable record should wait then abort, got: %v", proto, err)
+		}
+		tx.abandon()
+		// Once "replicated" (seq flipped even), the retry commits.
+		m.Eng.FAA64NonTx(off+memstore.SeqOff, 1)
+		if err := wk.Run(func(tx *Txn) error {
+			v, err := tx.Read(tblAcct, 0)
+			if err != nil {
+				return err
+			}
+			return tx.Write(tblAcct, 0, encBal(decBal(v)+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestProtocolConformanceDanglingLock: §5.2's passive release must clear a
+// dead machine's lock under each protocol, in BOTH places a survivor can
+// trip over it — a lock on a record the survivor writes (released on the
+// lock path) and a lock on a record it only reads (released on drtmr's C.1
+// read-lock path, and on farm's F.2 validation path: farm never CASes
+// read-set records, so the validation hook is its only chance).
+func TestProtocolConformanceDanglingLock(t *testing.T) {
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		t.Run("write-target", func(t *testing.T) { runDanglingLock(t, proto, true) })
+		t.Run("read-target", func(t *testing.T) { runDanglingLock(t, proto, false) })
+	})
+}
+
+func runDanglingLock(t *testing.T, proto string, writeLocked bool) {
+	w := newWorld(t, 3, 3, htm.Config{})
+	w.setProtocol(proto)
+	w.load(t, 6, 100)
+	m0 := w.c.Machines[0]
+	off, _ := m0.Store.Table(tblAcct).Lookup(0)
+	// Node 2 locks node 0's record 0, then dies.
+	wk2 := w.engines[2].NewWorker(0)
+	if _, ok, _ := wk2.QP(0).CAS(off+memstore.LockOff, 0, memstore.LockWord(2)); !ok {
+		t.Fatal("setup lock failed")
+	}
+	w.c.Kill(2)
+	deadline := time.Now().Add(2 * time.Second)
+	for w.c.Coord.Current().IsMember(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("no reconfig")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for m0.Config().IsMember(2) || w.c.Machines[1].Config().IsMember(2) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	wk1 := w.engines[1].NewWorker(1)
+	err := wk1.Run(func(tx *Txn) error {
+		// Key 0 carries the dangling lock; key 3 (same shard) is clean.
+		v0, err := tx.Read(tblAcct, 0)
+		if err != nil {
+			return err
+		}
+		v3, err := tx.Read(tblAcct, 3)
+		if err != nil {
+			return err
+		}
+		if writeLocked {
+			// The locked record is a write target: the lock path releases.
+			return tx.Write(tblAcct, 0, encBal(decBal(v0)+1))
+		}
+		// The locked record is read-only in this transaction: only the
+		// validation path (or drtmr's read-set lock CAS) can release it.
+		_ = v0
+		return tx.Write(tblAcct, 3, encBal(decBal(v3)+1))
+	})
+	if err != nil {
+		t.Fatalf("%s: commit against dangling lock: %v", proto, err)
+	}
+	if got := m0.Eng.Load64NonTx(off + memstore.LockOff); got != 0 {
+		t.Fatalf("%s: dangling lock still held: %#x", proto, got)
+	}
+}
+
+// TestProtocolConformanceCoroutineAtomicity: coroutine-scheduled workers
+// interleave several in-flight transactions on one worker (shared QPs,
+// shared lock word); yields at every doorbell must not break conservation
+// under any protocol.
+func TestProtocolConformanceCoroutineAtomicity(t *testing.T) {
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		const keys = 24
+		w := newWorld(t, 3, 1, htm.Config{})
+		w.setProtocol(proto)
+		w.load(t, keys, 1000)
+		var wg sync.WaitGroup
+		for n := 0; n < 3; n++ {
+			wk := w.engines[n].NewWorker(n)
+			wg.Add(1)
+			go func(wk *Worker, seed uint64) {
+				defer wg.Done()
+				wk.RunCoroutines(4, func(slot int) {
+					rng := sim.NewRand(seed*131 + uint64(slot) + 1)
+					for i := 0; i < 30; i++ {
+						from := uint64(rng.Intn(keys))
+						to := uint64(rng.Intn(keys))
+						if from == to {
+							continue
+						}
+						_ = wk.Run(func(tx *Txn) error {
+							fv, err := tx.Read(tblAcct, from)
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Read(tblAcct, to)
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(tblAcct, from, encBal(decBal(fv)-1)); err != nil {
+								return err
+							}
+							return tx.Write(tblAcct, to, encBal(decBal(tv)+1))
+						})
+					}
+				})
+			}(wk, uint64(n))
+		}
+		wg.Wait()
+		if got, want := w.totalOnPrimaries(keys), uint64(keys*1000); got != want {
+			t.Fatalf("%s: money not conserved: total %d, want %d", proto, got, want)
+		}
+	})
+}
+
+// TestProtocolLockBackoutReleasesAll is the mid-batch lock-scan regression
+// (the c08a886 bug class) expressed against the SHARED interface instead of
+// drtmr internals: a commit whose lock batch fails on a LIVE holder's lock
+// must abort AbortLockFailed AND release every lock the batch did win —
+// under every protocol. A leak here is permanent: the holder is alive, so
+// passive release never clears it.
+func TestProtocolLockBackoutReleasesAll(t *testing.T) {
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		w := newWorld(t, 3, 1, htm.Config{})
+		w.setProtocol(proto)
+		w.load(t, 12, 100)
+		// Keys 1, 4, 7, 10 all live on shard 1's primary (node 1). Node 2
+		// (live!) plants its lock word on key 4's record.
+		m1 := w.c.Machines[1]
+		offs := map[uint64]uint64{}
+		for _, k := range []uint64{1, 4, 7, 10} {
+			off, ok := m1.Store.Table(tblAcct).Lookup(k)
+			if !ok {
+				t.Fatalf("setup: key %d missing", k)
+			}
+			offs[k] = off
+		}
+		liveWord := memstore.LockWord(2)
+		wk2 := w.engines[2].NewWorker(0)
+		if _, ok, _ := wk2.QP(1).CAS(offs[4]+memstore.LockOff, 0, liveWord); !ok {
+			t.Fatal("setup live lock failed")
+		}
+
+		// Node 0 writes all four records in one transaction: the lock batch
+		// wins 1, 7, 10 and fails on 4 (live holder, no passive release).
+		wk0 := w.engines[0].NewWorker(1)
+		tx := wk0.Begin()
+		for _, k := range []uint64{1, 4, 7, 10} {
+			v, err := tx.Read(tblAcct, k)
+			if err != nil {
+				t.Fatalf("read %d: %v", k, err)
+			}
+			if err := tx.Write(tblAcct, k, encBal(decBal(v)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := tx.Commit()
+		var te *Error
+		if !errors.As(err, &te) || te.Reason != AbortLockFailed {
+			t.Fatalf("%s: commit against live lock: %v", proto, err)
+		}
+		if te.Stage != StageLock {
+			t.Errorf("%s: abort stage %s, want %s", proto, StageName(te.Stage), StageName(StageLock))
+		}
+		// Every OTHER lock word must be zero again; the live holder's stays.
+		for _, k := range []uint64{1, 7, 10} {
+			if got := m1.Eng.Load64NonTx(offs[k] + memstore.LockOff); got != 0 {
+				t.Fatalf("%s: lock on key %d leaked: %#x", proto, k, got)
+			}
+		}
+		if got := m1.Eng.Load64NonTx(offs[4] + memstore.LockOff); got != liveWord {
+			t.Fatalf("%s: live holder's lock clobbered: %#x", proto, got)
+		}
+		// After the holder releases, the same transaction commits.
+		if _, ok, _ := wk2.QP(1).CAS(offs[4]+memstore.LockOff, liveWord, 0); !ok {
+			t.Fatal("release live lock failed")
+		}
+		if err := wk0.Run(func(tx *Txn) error {
+			for _, k := range []uint64{1, 4, 7, 10} {
+				v, err := tx.Read(tblAcct, k)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(tblAcct, k, encBal(decBal(v)+1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestProtocolROVerbAccounting pins the protocol-matrix headline: for a
+// transaction that reads two remote records and writes one local record,
+// drtmr charges 3 one-sided verbs per read-only record (C.1 lock CAS + C.2
+// validation READ + C.6 unlock CAS) while farm charges 1 (the validation
+// READ) — and NEITHER wakes a remote CPU at a pure read participant.
+func TestProtocolROVerbAccounting(t *testing.T) {
+	want := map[string]uint64{"drtmr": 6, "farm": 2}
+	forEachProtocol(t, func(t *testing.T, proto string) {
+		w := newWorld(t, 3, 1, htm.Config{})
+		w.setProtocol(proto)
+		w.load(t, 6, 100)
+		wk := w.engines[0].NewWorker(0)
+		if err := wk.Run(func(tx *Txn) error {
+			if _, err := tx.Read(tblAcct, 1); err != nil { // node 1: read-only
+				return err
+			}
+			if _, err := tx.Read(tblAcct, 2); err != nil { // node 2: read-only
+				return err
+			}
+			v, err := tx.Read(tblAcct, 0) // local write target
+			if err != nil {
+				return err
+			}
+			return tx.Write(tblAcct, 0, encBal(decBal(v)+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if wexp, ok := want[proto]; ok && wk.Stats.ROVerbs != wexp {
+			t.Errorf("%s: ROVerbs = %d, want %d", proto, wk.Stats.ROVerbs, wexp)
+		}
+		if wk.Stats.ROWakeups != 0 {
+			t.Errorf("%s: ROWakeups = %d, want 0", proto, wk.Stats.ROWakeups)
+		}
+	})
+}

@@ -46,6 +46,14 @@ go test ./internal/txn/ -run '^$' -bench BenchmarkTraceOverhead -benchtime 200x
 # catch-all pass below also includes it).
 go test -run '^$' -bench BenchmarkFigContentionTail -benchtime 1x .
 
+# Commit-protocol gate: the conformance suite runs the shared correctness
+# battery (bank invariant, uncommittable-read block, dangling-lock release,
+# coroutine atomicity, lock back-out) over EVERY registered CommitProtocol,
+# and the protocol-matrix figure drives both pipelines head-to-head — it
+# fails on any nonzero read-only-participant wakeup count.
+go test -race -run 'TestProtocolConformance|TestProtocolLockBackoutReleasesAll|TestProtocolROVerbAccounting|TestProtocolRegistry' -count=1 ./internal/txn/
+go test -run '^$' -bench BenchmarkFigProtocolMatrix -benchtime 1x .
+
 # Smoke-run every benchmark once: the figure benchmarks drive the full
 # harness (including the coroutine-overlap sweep), so this catches
 # experiment-path regressions that unit tests miss.
