@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet lint race check bench bench-smoke trace torture
+.PHONY: all help build test vet lint race check bench bench-smoke trace torture serve
 
 all: check
 
@@ -20,6 +20,8 @@ help:
 	@echo "  torture      strict-serializability torture sweep + mutation"
 	@echo "               self-test (internal/check; SEED=n to vary, a"
 	@echo "               violating cell prints its deterministic replay seed)"
+	@echo "  serve        run the drtmr-serve network front door on :7707"
+	@echo "               (/statusz on :7708; ADDR=/HTTP= to override)"
 	@echo ""
 	@echo "Knobs:"
 	@echo "  Engine.Protocol / harness Options.Protocol / drtmr-bench -protocol:"
@@ -46,6 +48,13 @@ help:
 	@echo "    drtmr-bench -fig lat              latency-percentile CDF table"
 	@echo "    drtmr-bench -fig 20 -trace r.json recovery milestones as a trace"
 	@echo "    Worker.EnableTrace / Options.Trace enable recording in code."
+	@echo "  Serve mode (internal/serve, cmd/drtmr-serve, see DESIGN.md):"
+	@echo "    drtmr-serve -addr :7707 -http :7708   TCP front door + /statusz"
+	@echo "    drtmr-serve -fleet N -rate R -skew z  open-loop load fleet"
+	@echo "    -admission off                        unbounded-queue ablation"
+	@echo "    -watermark N                          queue-depth shed point"
+	@echo "    -payment-protocol farm                per-procedure commit protocol"
+	@echo "    drtmr-bench -fig serve                overload sweep, on vs off"
 
 build:
 	$(GO) build ./...
@@ -93,3 +102,10 @@ SEED ?= 3
 torture:
 	$(GO) run ./cmd/drtmr-bench -torture -seed $(SEED)
 	$(GO) run ./cmd/drtmr-bench -torture -mutate -seed $(SEED)
+
+# serve runs the network front door until interrupted: stored procedures
+# over the wire protocol on ADDR, live status JSON at http://HTTP/statusz.
+ADDR ?= 127.0.0.1:7707
+HTTP ?= 127.0.0.1:7708
+serve:
+	$(GO) run ./cmd/drtmr-serve -addr $(ADDR) -http $(HTTP)

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"drtmr/internal/bench/harness"
+	"drtmr/internal/bench/serveload"
 )
 
 // reportFirstRow surfaces the experiment's first row (the headline
@@ -149,5 +150,40 @@ func BenchmarkFigContentionTail(b *testing.B) {
 			unit = "_txns/s"
 		}
 		b.ReportMetric(first.Values[i], strings.ReplaceAll(col, " ", "-")+unit)
+	}
+}
+
+// BenchmarkFigServeOverload runs the network-serve overload sweep (ours, not
+// in the paper): an open-loop client fleet over real TCP against the
+// drtmr-serve front door, admission control on vs off. Unlike every other
+// figure this one is wall time end to end. The table mixes units —
+// accepted throughput in txns/s (wall), p99 in milliseconds, shed rate in
+// percent — so it reports the first row with per-column units.
+func BenchmarkFigServeOverload(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		t = serveload.FigServeOverload(harness.Smoke)
+	}
+	if len(t.Rows) == 0 || len(t.Rows[0].Values) == 0 {
+		b.Fatal("empty experiment table")
+	}
+	first := t.Rows[0]
+	for i, col := range t.Columns {
+		if i >= len(first.Values) {
+			break
+		}
+		unit := "_ms"
+		switch {
+		case strings.HasSuffix(col, "tps"):
+			unit = "_txns/s"
+		case strings.HasSuffix(col, "shed%"):
+			unit = "_%"
+		}
+		b.ReportMetric(first.Values[i], strings.ReplaceAll(col, " ", "-")+unit)
+	}
+	for _, n := range t.Notes {
+		if strings.Contains(n, "DROPPED") {
+			b.Fatalf("fleet accounting hole: %s", n)
+		}
 	}
 }

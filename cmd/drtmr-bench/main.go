@@ -35,13 +35,14 @@ import (
 	"time"
 
 	"drtmr/internal/bench/harness"
+	"drtmr/internal/bench/serveload"
 	"drtmr/internal/check"
 	"drtmr/internal/obs"
 	"drtmr/internal/txn"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), "tail" (contention-manager tail sweep), "proto" (commit-protocol matrix), or "all"`)
+	fig := flag.String("fig", "all", `figure/table to reproduce: 10..20, "6t" (Table 6), "silo", "coro" (coroutine overlap sweep), "lat" (latency CDF), "tail" (contention-manager tail sweep), "proto" (commit-protocol matrix), "serve" (network-serve overload sweep), or "all"`)
 	smoke := flag.Bool("smoke", false, "run the scaled-down smoke version")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this path (traced SmallBank run, or the recovery milestones with -fig 20)")
 	protocol := flag.String("protocol", "", `commit protocol for -trace runs: "" = drtmr (the HTM pipeline), "farm" = the one-sided log-append pipeline; "proto" figures sweep both`)
@@ -83,8 +84,9 @@ func main() {
 		"lat":   harness.FigLatencyCDF,
 		"tail":  harness.FigContentionTail,
 		"proto": harness.FigProtocolMatrix,
+		"serve": serveload.FigServeOverload,
 	}
-	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat", "tail", "proto"}
+	order := []string{"10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "6t", "silo", "coro", "lat", "tail", "proto", "serve"}
 
 	runOne := func(name string) {
 		if name == "20" {

@@ -1,80 +1,92 @@
-// Quickstart: a three-machine DrTM+R cluster with 3-way replication running
-// a distributed transfer between accounts on different machines.
+// Quickstart: a three-machine DrTM+R cluster behind the drtmr-serve network
+// front door. The example boots an in-process server (a real TCP listener on
+// a loopback port, the same code path as cmd/drtmr-serve), connects the Go
+// client to it, and runs bank stored procedures over the wire: a deposit, a
+// cross-machine payment, and balance reads — every call carrying the typed
+// abort taxonomy back if anything goes wrong.
+//
+// Point it at an already-running server instead with:
+//
+//	go run ./examples/quickstart -connect 127.0.0.1:7707
 package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
-	"drtmr"
+	"drtmr/internal/bench/smallbank"
+	"drtmr/internal/serve"
+	"drtmr/internal/serve/client"
 )
 
-const accounts drtmr.TableID = 1
-
-func bal(v uint64) []byte {
-	b := make([]byte, 16)
-	binary.LittleEndian.PutUint64(b, v)
-	return b
+func main() {
+	connect := flag.String("connect", "", "address of an external drtmr-serve (empty = boot one in-process)")
+	flag.Parse()
+	if err := run(os.Stdout, *connect); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func val(b []byte) uint64 { return binary.LittleEndian.Uint64(b[:8]) }
-
-func main() {
-	db, err := drtmr.Open(drtmr.Options{Nodes: 3, Replicas: 3})
-	if err != nil {
-		log.Fatal(err)
+// run executes the quickstart against addr, or against an in-process server
+// when addr is empty (the fallback keeps the example self-contained: no
+// separate process to start, but the calls still cross a real TCP socket).
+func run(out io.Writer, addr string) error {
+	cfg := smallbank.Config{
+		AccountsPerNode: 100,
+		Nodes:           3,
+		InitialBalance:  100,
 	}
-	defer db.Close()
-
-	db.CreateTable(accounts, drtmr.TableSpec{
-		Name: "accounts", ValueSize: 16, ExpectedRows: 128,
-	})
-	// Keys partition by key%3, so 0 lives on machine 0 and 1 on machine 1.
-	db.MustLoad(accounts, 0, bal(100))
-	db.MustLoad(accounts, 1, bal(100))
-
-	// A session on machine 0 transfers 25 from account 0 (local) to
-	// account 1 (remote): the commit locks the remote record with RDMA
-	// CAS, validates, updates locally under HTM, replicates to the
-	// backups, and only then reports success.
-	s := db.Session(0)
-	err = s.Update(func(tx *drtmr.Tx) error {
-		from, err := tx.Read(accounts, 0)
+	if addr == "" {
+		db, err := serve.OpenBank(cfg, 3)
 		if err != nil {
 			return err
 		}
-		to, err := tx.Read(accounts, 1)
+		srv := serve.New(db, serve.Options{WorkersPerNode: 2})
+		if err := serve.RegisterBank(srv, cfg, serve.BankProcs{}); err != nil {
+			return err
+		}
+		bound, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		if err := tx.Write(accounts, 0, bal(val(from)-25)); err != nil {
-			return err
-		}
-		return tx.Write(accounts, 1, bal(val(to)+25))
-	})
-	if err != nil {
-		log.Fatal(err)
+		defer srv.Close()
+		addr = bound.String()
+		fmt.Fprintf(out, "booted in-process drtmr-serve on %s (3 machines, 3-way replication)\n", addr)
 	}
 
-	// Read back from a different machine with the read-only protocol.
-	s2 := db.Session(2)
-	err = s2.View(func(tx *drtmr.Tx) error {
-		a, err := tx.Read(accounts, 0)
-		if err != nil {
-			return err
-		}
-		b, err := tx.Read(accounts, 1)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("account 0: %d\naccount 1: %d\n", val(a), val(b))
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
+	cl := client.New(client.Options{Addr: addr})
+	defer cl.Close()
+
+	// Accounts partition by key/AccountsPerNode: account 5 lives on machine
+	// 0 and account 105 on machine 1, so the payment below is a distributed
+	// transaction — remote lock via RDMA CAS, local HTM commit, replication
+	// to the backups — executed server-side by the payment stored procedure.
+	const from, to = 5, 105
+	if _, err := cl.Call("deposit", serve.EncDeposit(from, 50)); err != nil {
+		return fmt.Errorf("deposit: %w", err)
 	}
-	st := s.Stats()
-	fmt.Printf("session stats: %d committed, %d aborts\n",
-		st.Committed, st.AbortsTotal())
+	if _, err := cl.Call("payment", serve.EncPayment(from, to, 25)); err != nil {
+		// Aborts come back typed: reason, pipeline stage and site survive
+		// the wire (client.AbortError), not just a string.
+		return fmt.Errorf("payment: %w", err)
+	}
+	for _, acct := range []uint64{from, to} {
+		reply, err := cl.Call("balance", serve.EncBalanceReq(acct))
+		if err != nil {
+			return fmt.Errorf("balance(%d): %w", acct, err)
+		}
+		fmt.Fprintf(out, "account %d: %d\n", acct, binary.LittleEndian.Uint64(reply))
+	}
+
+	// The live status endpoint works mid-run, over the same connection.
+	raw, err := cl.Status()
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	fmt.Fprintf(out, "status: %d bytes of live JSON (try /statusz over HTTP for the same view)\n", len(raw))
+	return nil
 }

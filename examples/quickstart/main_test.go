@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example end to end with its in-process
+// server: the wire calls must succeed and the balances (checking+savings,
+// both loaded at 100) must reflect the deposit (200+50-25) and the payment
+// (200+25).
+func TestQuickstartSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, ""); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	t.Logf("\n%s", got)
+	for _, want := range []string{
+		"booted in-process drtmr-serve",
+		"account 5: 225",
+		"account 105: 225",
+		"status:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -25,7 +25,7 @@ import (
 var AbortAttr = &analysis.Analyzer{
 	Name:          "abortattr",
 	Doc:           "require txn.Error literals to set Reason, Stage and Site (abort-attribution completeness)",
-	PackageFilter: isProtocolPackage,
+	PackageFilter: isAbortSurfacePackage,
 	Run:           runAbortAttr,
 }
 

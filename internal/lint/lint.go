@@ -44,6 +44,7 @@ var protocolPackages = []string{
 	"drtmr/internal/sim",
 	"drtmr/internal/check",
 	"drtmr/internal/bench",
+	"drtmr/internal/serve",
 }
 
 // inProtocolPackages matches pkg path (or any of its subpackages).
@@ -62,6 +63,16 @@ func inProtocolPackages(path string) bool {
 // keep the same invariants as code living in internal/txn itself).
 func isProtocolPackage(path string) bool {
 	return path == "drtmr/internal/txn" || strings.HasPrefix(path, "drtmr/internal/txn/")
+}
+
+// isAbortSurfacePackage widens abortattr beyond the transaction layer to the
+// serve tree: the network front door mints txn.Error values of its own
+// (ServerBusy at admission, Deadline at queue expiry) and reconstructs them
+// client-side from the wire, and a literal there that forgets Stage or Site
+// misattributes those aborts exactly like one on a commit path would.
+func isAbortSurfacePackage(path string) bool {
+	return isProtocolPackage(path) ||
+		path == "drtmr/internal/serve" || strings.HasPrefix(path, "drtmr/internal/serve/")
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

@@ -32,23 +32,32 @@ func TestDoorbell(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Doorbell, "doorbell")
 }
 
-// TestPackageFilters pins the analyzer scoping: the commit-pipeline checks
-// cover internal/txn AND any protocol package nested under it, determinism
-// covers every protocol package, and nothing fires on the harness-external
+// TestPackageFilters pins the analyzer scoping, which comes in three widths:
+// the commit-pipeline checks (htmregion, lockpair, doorbell) cover
+// internal/txn AND any protocol package nested under it; abort attribution
+// additionally covers the serve tree, which mints and reconstructs typed
+// aborts at the network boundary; determinism (virtualtime) covers every
+// protocol package including serve. Nothing fires on the harness-external
 // packages (cmd, examples, lint).
 func TestPackageFilters(t *testing.T) {
 	cases := []struct {
 		path        string
 		txnOnly     bool
+		abortAttr   bool
 		virtualTime bool
 	}{
-		{"drtmr/internal/txn", true, true},
-		{"drtmr/internal/txn/farmproto", true, true},
-		{"drtmr/internal/txnhelpers", false, false},
-		{"drtmr/internal/rdma", false, true},
-		{"drtmr/internal/bench/harness", false, true},
-		{"drtmr/internal/lint", false, false},
-		{"drtmr/cmd/drtmr-bench", false, false},
+		{"drtmr/internal/txn", true, true, true},
+		{"drtmr/internal/txn/farmproto", true, true, true},
+		{"drtmr/internal/txnhelpers", false, false, false},
+		{"drtmr/internal/rdma", false, false, true},
+		{"drtmr/internal/bench/harness", false, false, true},
+		{"drtmr/internal/bench/serveload", false, false, true},
+		{"drtmr/internal/serve", false, true, true},
+		{"drtmr/internal/serve/client", false, true, true},
+		{"drtmr/internal/servehelpers", false, false, false},
+		{"drtmr/internal/lint", false, false, false},
+		{"drtmr/cmd/drtmr-serve", false, false, false},
+		{"drtmr/cmd/drtmr-bench", false, false, false},
 	}
 	for _, c := range cases {
 		for _, a := range lint.Analyzers {
@@ -57,8 +66,13 @@ func TestPackageFilters(t *testing.T) {
 				continue
 			}
 			got := a.PackageFilter(c.path)
-			want := c.virtualTime
-			if a.Name != "virtualtime" {
+			var want bool
+			switch a.Name {
+			case "virtualtime":
+				want = c.virtualTime
+			case "abortattr":
+				want = c.abortAttr
+			default:
 				want = c.txnOnly
 			}
 			if got != want {

@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // AbortMatrix dimensions. Fixed-size so recording is a single array index
 // with no allocation; the sizes comfortably cover the txn package's enums
 // (callers clamp into the last slot if they ever outgrow them).
 const (
-	NumReasons = 8  // txn.AbortReason values
+	NumReasons = 10 // txn.AbortReason values (incl. the serve-layer ServerBusy/Deadline)
 	NumStages  = 12 // txn stage codes (exec + commit phases + fallback)
 	NumSites   = 40 // cluster node ids
 )
@@ -37,6 +38,44 @@ func clampIdx(i, n int) int {
 // Record counts one abort with the given reason, stage, and site.
 func (m *AbortMatrix) Record(reason, stage uint8, site int) {
 	m.c[clampIdx(int(reason), NumReasons)][clampIdx(int(stage), NumStages)][clampIdx(site, NumSites)]++
+}
+
+// LiveRecord is Record with an atomic increment, for matrices a live status
+// endpoint snapshots while recording continues (internal/serve).
+func (m *AbortMatrix) LiveRecord(reason, stage uint8, site int) {
+	atomic.AddUint64(&m.c[clampIdx(int(reason), NumReasons)][clampIdx(int(stage), NumStages)][clampIdx(site, NumSites)], 1)
+}
+
+// LiveMerge atomically adds (cur - prev) into m — the delta-publish step a
+// single-writer worker uses to fold its private matrix into a shared live
+// aggregate mid-run. cur and prev belong to the calling goroutine (read
+// non-atomically); only m is shared. Callers then copy cur into prev.
+func (m *AbortMatrix) LiveMerge(cur, prev *AbortMatrix) {
+	for r := range m.c {
+		for s := range m.c[r] {
+			for n := range m.c[r][s] {
+				if d := cur.c[r][s][n] - prev.c[r][s][n]; d != 0 {
+					atomic.AddUint64(&m.c[r][s][n], d)
+				}
+			}
+		}
+	}
+}
+
+// Snapshot returns an atomically loaded copy safe to take while LiveRecord
+// or LiveMerge race. Successive snapshots are monotone per cell.
+func (m *AbortMatrix) Snapshot() AbortMatrix {
+	var s AbortMatrix
+	for r := range m.c {
+		for st := range m.c[r] {
+			for n := range m.c[r][st] {
+				if c := atomic.LoadUint64(&m.c[r][st][n]); c != 0 {
+					s.c[r][st][n] = c
+				}
+			}
+		}
+	}
+	return s
 }
 
 // Merge adds all of o's counts into m.

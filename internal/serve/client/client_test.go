@@ -1,0 +1,93 @@
+package client_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"drtmr/internal/bench/smallbank"
+	"drtmr/internal/serve"
+	"drtmr/internal/serve/client"
+)
+
+func startBank(t *testing.T) string {
+	t.Helper()
+	cfg := smallbank.Config{AccountsPerNode: 200, Nodes: 2, InitialBalance: 1000}
+	db, err := serve.OpenBank(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(db, serve.Options{})
+	if err := serve.RegisterBank(s, cfg, serve.BankProcs{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return addr.String()
+}
+
+// TestPoolBoundsConnections drives more goroutines than pooled connections:
+// callers must share the pool (waiting, not dialing past MaxConns) and all
+// succeed.
+func TestPoolBoundsConnections(t *testing.T) {
+	addr := startBank(t)
+	cl := client.New(client.Options{Addr: addr, MaxConns: 3})
+	defer cl.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				reply, err := cl.Call("balance", serve.EncBalanceReq(uint64(g)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if binary.LittleEndian.Uint64(reply) != 2000 {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseFailsCalls checks that a closed client errors instead of hanging.
+func TestCloseFailsCalls(t *testing.T) {
+	addr := startBank(t)
+	cl := client.New(client.Options{Addr: addr})
+	cl.Close()
+	if _, err := cl.Call("balance", serve.EncBalanceReq(0)); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+// TestTypedErrorsCrossTheWire checks a server rejection reconstructs as the
+// right client-side type, distinct from the busy/deadline taxonomy.
+func TestTypedErrorsCrossTheWire(t *testing.T) {
+	addr := startBank(t)
+	cl := client.New(client.Options{Addr: addr})
+	defer cl.Close()
+	_, err := cl.Call("payment", []byte("short"))
+	if err == nil {
+		t.Fatal("malformed args accepted")
+	}
+	var re *client.RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RequestError, got %T: %v", err, err)
+	}
+	if client.IsBusy(err) || client.IsDeadline(err) {
+		t.Fatalf("bad request misclassified: %v", err)
+	}
+}

@@ -1,0 +1,473 @@
+// Package serve is drtmr's network front door: a TCP server that executes
+// registered stored procedures (whole transactions) against an embedded
+// drtmr cluster, with per-procedure commit-protocol selection, admission
+// control with overload shedding, and a live status endpoint.
+//
+// Architecture: each accepted connection gets a reader goroutine that
+// decodes frames (internal/serve/wire), runs admission, and routes the
+// request to a per-node FIFO queue; a fixed pool of worker goroutines per
+// node — each owning one single-goroutine engine worker — drains the queue
+// and executes. Responses are written back on the request's connection
+// under a per-connection write lock, so workers never block each other on
+// the socket. Status requests are answered directly on the reader goroutine
+// from lock-free snapshots (obs LiveRecord/Snapshot): the read path never
+// queues behind the commit pipeline.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drtmr"
+	"drtmr/internal/obs"
+	"drtmr/internal/serve/wire"
+	"drtmr/internal/txn"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// WorkersPerNode is the number of executor goroutines (each with its
+	// own engine worker) per cluster node. Default 2.
+	WorkersPerNode int
+	// Admission configures the overload controller.
+	Admission AdmissionConfig
+	// History turns on per-worker history recording for the
+	// strict-serializability checker (HistoryTxns after Close). Meant for
+	// the CI serve gate; it grows memory with every committed transaction.
+	History bool
+}
+
+// request is one admitted call waiting for (or in) execution.
+type request struct {
+	c        *conn
+	id       uint64
+	proc     *procEntry
+	args     []byte // copied out of the connection's read buffer
+	deadline time.Duration
+	enq      time.Time
+}
+
+// queue is an unbounded FIFO. Unbounded on purpose: boundedness is the
+// admission controller's job, and the -admission off ablation needs a queue
+// that really does grow without limit so the tail collapse is observable.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []request
+	head   int
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(r request) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, r)
+	q.cond.Signal()
+	return true
+}
+
+func (q *queue) pop() (request, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head >= len(q.items) {
+		return request{}, false
+	}
+	r := q.items[q.head]
+	q.items[q.head] = request{} // release the args for GC
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return r, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// conn is one client connection: reads happen on its reader goroutine,
+// writes from any worker under wmu.
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex
+}
+
+// writeResult frames and writes one Result message.
+func (c *conn) writeResult(id uint64, status, reason, stage uint8, site uint16, detail string, payload []byte) error {
+	buf, err := wire.AppendResult(nil, id, status, reason, stage, site, detail, payload)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.nc, buf)
+}
+
+func (c *conn) writeStatusResult(id uint64, json []byte) error {
+	buf := wire.AppendStatusResult(nil, id, json)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.nc, buf)
+}
+
+// liveStats is the server-wide mid-run aggregate the status endpoint
+// snapshots: per-procedure wall-latency histograms (LiveRecord), the abort
+// matrix (LiveMerge deltas), flat counters, and the hot-key table.
+type liveStats struct {
+	hist      *obs.TypedHist
+	aborts    obs.AbortMatrix
+	committed atomic.Uint64
+	abortsN   atomic.Uint64
+	retries   atomic.Uint64
+	fallbacks atomic.Uint64
+
+	mu  sync.Mutex
+	hot map[txn.HotKey]uint64
+}
+
+// Server is a running drtmr-serve instance.
+type Server struct {
+	db   *drtmr.DB
+	opts Options
+	reg  registry
+	adm  *admission
+	live *liveStats
+
+	queues  []*queue
+	nextRR  atomic.Uint64 // round-robin node cursor for homeless requests
+	started atomic.Bool
+	closed  atomic.Bool
+	conns   sync.Map // *conn -> struct{}; closed with the server
+
+	lis     net.Listener
+	httpMu  sync.Mutex
+	httpLis []net.Listener
+	wg      sync.WaitGroup // workers + accept loop + readers + http
+	start   time.Time
+
+	// Strict-serializability capture (Options.History).
+	ticks   *obs.TickSource
+	histMu  sync.Mutex
+	history []*obs.HistoryRecorder
+}
+
+// New wraps an opened (and loaded) drtmr.DB in a server. Register
+// procedures, then Start.
+func New(db *drtmr.DB, o Options) *Server {
+	if o.WorkersPerNode <= 0 {
+		o.WorkersPerNode = 2
+	}
+	s := &Server{db: db, opts: o}
+	if o.History {
+		s.ticks = obs.NewTickSource()
+	}
+	return s
+}
+
+// Register adds a stored procedure. Must be called before Start.
+func (s *Server) Register(p Proc) error {
+	if s.started.Load() {
+		return errors.New("serve: Register after Start")
+	}
+	return s.reg.register(p)
+}
+
+// Workers returns the total executor count (nodes × WorkersPerNode).
+func (s *Server) Workers() int {
+	return len(s.db.Cluster().Machines) * s.opts.WorkersPerNode
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0"), spawns the executor pool, and
+// begins accepting connections. Returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if s.started.Swap(true) {
+		return nil, errors.New("serve: already started")
+	}
+	nodes := len(s.db.Cluster().Machines)
+	s.adm = newAdmission(s.opts.Admission, nodes*s.opts.WorkersPerNode)
+	s.live = &liveStats{
+		hist: obs.NewTypedHist(s.reg.names()...),
+		hot:  make(map[txn.HotKey]uint64),
+	}
+	s.start = now()
+	s.queues = make([]*queue, nodes)
+	for n := range s.queues {
+		s.queues[n] = newQueue()
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	for n := 0; n < nodes; n++ {
+		for i := 0; i < s.opts.WorkersPerNode; i++ {
+			s.wg.Add(1)
+			go s.workerLoop(n)
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return lis.Addr(), nil
+}
+
+// Addr returns the listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Close stops accepting, drains nothing (queued requests are abandoned:
+// their connections are closing anyway), waits for workers, and closes the
+// cluster. Safe to call once.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.httpMu.Lock()
+	for _, l := range s.httpLis {
+		l.Close()
+	}
+	s.httpMu.Unlock()
+	s.conns.Range(func(k, _ any) bool {
+		k.(*conn).nc.Close()
+		return true
+	})
+	for _, q := range s.queues {
+		q.close()
+	}
+	s.wg.Wait()
+	s.db.Close()
+}
+
+// HistoryTxns returns every recorded transaction ordered by invocation tick
+// (empty unless Options.History). Call after the load finishes: recorders
+// are only safe to read once their workers are idle.
+func (s *Server) HistoryTxns() []obs.HistTxn {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	var out []obs.HistTxn
+	for _, h := range s.history {
+		out = append(out, h.Txns()...)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Invoke < out[j-1].Invoke; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &conn{nc: nc}
+		s.conns.Store(c, struct{}{})
+		s.wg.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+// route picks the executing node for a call: the procedure's home node when
+// it has one (worker-local data), round-robin otherwise.
+func (s *Server) route(e *procEntry, args []byte) int {
+	if e.Home != nil {
+		if n, ok := e.Home(args); ok && n >= 0 && n < len(s.queues) {
+			return n
+		}
+	}
+	return int(s.nextRR.Add(1)) % len(s.queues)
+}
+
+// readLoop is a connection's reader: decode, admit, route. Malformed frames
+// close the connection (the protocol is not self-synchronizing); unknown
+// procedures and sheds are per-request errors on a healthy connection.
+func (s *Server) readLoop(c *conn) {
+	defer s.wg.Done()
+	defer s.conns.Delete(c)
+	defer c.nc.Close()
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(c.nc, buf)
+		if err != nil {
+			return // EOF, peer reset, or framing violation
+		}
+		buf = payload[:cap(payload)]
+		m, err := wire.Decode(payload)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case wire.KindStatus:
+			// Served inline on the reader: a snapshot read must never
+			// queue behind (or get shed with) the write path.
+			if err := c.writeStatusResult(m.ID, s.statusJSON()); err != nil {
+				return
+			}
+		case wire.KindCall:
+			e := s.reg.lookup(m.Proc)
+			if e == nil {
+				if err := c.writeResult(m.ID, wire.StatusBadRequest, 0, 0, 0,
+					fmt.Sprintf("unknown procedure %q", m.Proc), nil); err != nil {
+					return
+				}
+				continue
+			}
+			node := s.route(e, m.Args)
+			deadline := time.Duration(m.DeadlineUs) * time.Microsecond
+			if shed := s.adm.admit(node, deadline); shed != nil {
+				s.live.aborts.LiveRecord(uint8(shed.Reason), shed.Stage, int(shed.Site))
+				if err := c.writeResult(m.ID, wire.StatusAbort, uint8(shed.Reason),
+					shed.Stage, shed.Site, shed.Detail, nil); err != nil {
+					return
+				}
+				continue
+			}
+			args := make([]byte, len(m.Args))
+			copy(args, m.Args)
+			req := request{c: c, id: m.ID, proc: e, args: args, deadline: deadline, enq: now()}
+			if !s.queues[node].push(req) {
+				s.adm.finish(0)
+				return // server closing
+			}
+		default:
+			return // clients must not send Result/StatusResult
+		}
+	}
+}
+
+// statsPublishEvery is how many requests a worker executes between folding
+// its private engine stats into the live aggregate. Small enough that the
+// status endpoint is fresh, large enough that publishing (an atomic sweep
+// of the abort matrix) stays off the per-request path.
+const statsPublishEvery = 32
+
+// workerLoop drains one node's queue on a dedicated engine worker.
+func (s *Server) workerLoop(node int) {
+	defer s.wg.Done()
+	sess := s.db.Session(drtmr.NodeID(node))
+	w := sess.Worker()
+	if s.ticks != nil {
+		h := w.EnableHistory(s.ticks)
+		s.histMu.Lock()
+		s.history = append(s.history, h)
+		s.histMu.Unlock()
+	}
+	var prev txn.Stats
+	prevHot := make(map[txn.HotKey]uint64)
+	sincePublish := 0
+	publish := func() {
+		st := &w.Stats
+		s.live.committed.Add(st.Committed - prev.Committed)
+		s.live.retries.Add(st.Retries - prev.Retries)
+		s.live.fallbacks.Add(st.Fallbacks - prev.Fallbacks)
+		var ab, prevAb uint64
+		for _, n := range st.Aborts {
+			ab += n
+		}
+		for _, n := range prev.Aborts {
+			prevAb += n
+		}
+		s.live.abortsN.Add(ab - prevAb)
+		s.live.aborts.LiveMerge(&st.AbortCells, &prev.AbortCells)
+		prev.Committed, prev.Retries, prev.Fallbacks = st.Committed, st.Retries, st.Fallbacks
+		prev.Aborts = st.Aborts
+		prev.AbortCells = st.AbortCells
+		if len(st.KeyAborts) > 0 {
+			s.live.mu.Lock()
+			for k, n := range st.KeyAborts {
+				if d := n - prevHot[k]; d != 0 {
+					s.live.hot[k] += d
+					prevHot[k] = n
+				}
+			}
+			s.live.mu.Unlock()
+		}
+	}
+	defer publish()
+	for {
+		req, ok := s.queues[node].pop()
+		if !ok {
+			return
+		}
+		if req.deadline > 0 {
+			if waited := since(req.enq); waited > req.deadline {
+				s.adm.expire()
+				e := &txn.Error{
+					Reason: txn.AbortDeadline,
+					Stage:  txn.StageAdmission,
+					Site:   uint16(node),
+					Detail: fmt.Sprintf("deadline %s expired after %s in queue", req.deadline, waited),
+				}
+				s.live.aborts.LiveRecord(uint8(e.Reason), e.Stage, int(e.Site))
+				s.respond(req, nil, e)
+				s.adm.finish(0)
+				continue
+			}
+		}
+		w.Protocol = req.proc.Protocol
+		begin := now()
+		reply, err := req.proc.Fn(w, req.args)
+		svc := since(begin)
+		s.live.hist.LiveRecord(req.proc.idx, svc.Nanoseconds())
+		s.respond(req, reply, err)
+		s.adm.finish(svc)
+		if sincePublish++; sincePublish >= statsPublishEvery {
+			publish()
+			sincePublish = 0
+		}
+	}
+}
+
+// respond writes a request's Result. Write errors are swallowed: the client
+// is gone, and its remaining queued requests will fail the same way.
+func (s *Server) respond(req request, reply []byte, err error) {
+	switch {
+	case err == nil:
+		_ = req.c.writeResult(req.id, wire.StatusOK, 0, 0, 0, "", reply)
+	default:
+		var te *txn.Error
+		if errors.As(err, &te) {
+			_ = req.c.writeResult(req.id, wire.StatusAbort, uint8(te.Reason),
+				te.Stage, te.Site, te.Detail, nil)
+			return
+		}
+		status := wire.StatusError
+		if errors.Is(err, drtmr.ErrNotFound) || errors.Is(err, errBadArgs) {
+			status = wire.StatusBadRequest
+		}
+		_ = req.c.writeResult(req.id, uint8(status), 0, 0, 0, err.Error(), nil)
+	}
+}
+
+// errBadArgs marks malformed stored-procedure arguments (StatusBadRequest
+// on the wire, like an unknown procedure).
+var errBadArgs = errors.New("serve: malformed procedure arguments")

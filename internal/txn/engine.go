@@ -53,6 +53,17 @@ const (
 	AbortNodeDead
 	// AbortStale: a cached location or incarnation went stale repeatedly.
 	AbortStale
+	// AbortServerBusy: the serve-layer admission controller shed the request
+	// before it reached a worker (queue-depth watermark or deadline-aware
+	// overload estimate). Never retried by the engine: the client decides.
+	AbortServerBusy
+	// AbortDeadline: the request's deadline expired while it waited in the
+	// serve-layer admission queue, so it was dropped before execution.
+	AbortDeadline
+
+	// NumAbortReasons sizes per-reason counters (Stats.Aborts,
+	// obs.NumReasons must be >= this).
+	NumAbortReasons
 )
 
 func (r AbortReason) String() string {
@@ -71,6 +82,10 @@ func (r AbortReason) String() string {
 		return "node-dead"
 	case AbortStale:
 		return "stale"
+	case AbortServerBusy:
+		return "server-busy"
+	case AbortDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", uint8(r))
 	}
@@ -93,6 +108,9 @@ const (
 	// StageQueue: waiting for hot-key FIFO admission (contention manager) —
 	// the stage of queue-wait trace spans and queue-timeout aborts.
 	StageQueue
+	// StageAdmission: the serve-layer admission controller, before any
+	// engine worker touched the request (ServerBusy/Deadline sheds).
+	StageAdmission
 	NumStages
 )
 
@@ -119,6 +137,8 @@ func StageName(s uint8) string {
 		return PhaseFallback.String()
 	case StageQueue:
 		return "queue"
+	case StageAdmission:
+		return "admission"
 	default:
 		return fmt.Sprintf("stage(%d)", s)
 	}
@@ -334,6 +354,12 @@ type Worker struct {
 	// serialize all workers into one reproducible interleaving.
 	gate func()
 
+	// Protocol, when non-empty, overrides the engine-wide Engine.Protocol
+	// for transactions this worker commits. The serve layer sets it per
+	// stored procedure (a worker is single-goroutine, so flipping it
+	// between requests is race-free).
+	Protocol string
+
 	Stats Stats
 }
 
@@ -385,7 +411,7 @@ type PhaseStat struct {
 // Stats counts per-worker outcomes.
 type Stats struct {
 	Committed uint64
-	Aborts    [8]uint64 // indexed by AbortReason
+	Aborts    [NumAbortReasons]uint64 // indexed by AbortReason
 	Fallbacks uint64
 	Retries   uint64
 	Phases    [NumPhases]PhaseStat

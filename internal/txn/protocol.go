@@ -92,10 +92,16 @@ func init() {
 	RegisterProtocol(farmProto{})
 }
 
-// protocol resolves this engine's commit protocol. An unknown name panics:
-// it is a configuration error that must fail loudly, not a runtime abort.
-func (e *Engine) protocol() CommitProtocol {
-	name := e.Protocol
+// protocol resolves this worker's commit protocol: the per-worker override
+// (set by the serve layer per stored procedure) wins over the engine-wide
+// Engine.Protocol, which defaults to DefaultProtocol. An unknown name
+// panics: it is a configuration error that must fail loudly, not a runtime
+// abort.
+func (w *Worker) protocol() CommitProtocol {
+	name := w.Protocol
+	if name == "" {
+		name = w.E.Protocol
+	}
 	if name == "" {
 		name = DefaultProtocol
 	}
@@ -106,11 +112,11 @@ func (e *Engine) protocol() CommitProtocol {
 	return p
 }
 
-// Commit dispatches to the engine's commit protocol. Read-only transactions
+// Commit dispatches to the worker's commit protocol. Read-only transactions
 // (and read-write ones that wrote nothing) take the protocol's read-only
 // path; everything else runs the full pipeline.
 func (tx *Txn) Commit() error {
-	p := tx.w.E.protocol()
+	p := tx.w.protocol()
 	if tx.readOnly || len(tx.ws) == 0 {
 		tx.stage = StageROValidate
 		return p.ReadOnlyCommit(tx)

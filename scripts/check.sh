@@ -34,6 +34,15 @@ go test -race ./...
 go test -race -short -run 'TestTortureSweep|TestMutationSelfTest|TestStaleIncarnationScenario' -count=1 ./internal/check/
 go test -run '^$' -fuzz FuzzRedoRoundtrip -fuzztime 5s ./internal/cluster/
 
+# Serve gate: the network front door end to end under -race — >=10k stored
+# procedures over real TCP through admission control, then the sampled
+# history must pass the strict-serializability checker, the bank must
+# conserve money exactly, and the fleet accounting must close (every offered
+# call lands in exactly one outcome bucket; Dropped == 0). Plus a fuzz smoke
+# of the wire frame codec (length-prefix framing + Call/Result roundtrip).
+go test -race -run 'TestServeGateEndToEnd|TestAdmissionShedsAtOverload|TestAdmissionDisabledQueuesEverything' -count=1 ./internal/serve/
+go test -run '^$' -fuzz FuzzFrameRoundtrip -fuzztime 5s ./internal/serve/wire/
+
 # Trace-overhead gate: the observability layer must not move virtual time.
 # TestTraceOverheadBudget (in the race run above) asserts enabled==disabled
 # and <3% drift vs BENCH_coroutine_overlap.json; this prints the numbers at
