@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help build test vet lint race check bench bench-smoke trace torture serve
+.PHONY: all help build test vet lint lint-baseline race check bench bench-smoke trace torture serve
 
 all: check
 
@@ -8,9 +8,14 @@ help:
 	@echo "Targets:"
 	@echo "  build        go build ./..."
 	@echo "  vet          go vet ./... (after build)"
-	@echo "  lint         drtmr-vet static protocol invariants (internal/lint):"
-	@echo "               htmregion, virtualtime, abortattr, lockpair, doorbell;"
+	@echo "  lint         drtmr-vet ratcheted sweep (internal/lint), both build-"
+	@echo "               tag halves: htmregion, virtualtime, abortattr, lockpair,"
+	@echo "               doorbell, lockorder, hotalloc, enumswitch; diffs against"
+	@echo "               lint-baseline.json in both directions (new findings AND"
+	@echo "               stale entries fail); SARIF at bin/drtmr-vet.sarif;"
 	@echo "               suppress with '//drtmr:allow <analyzer> <reason>'"
+	@echo "  lint-baseline  regenerate lint-baseline.json from current findings"
+	@echo "               (policy: keep it empty — fix or //drtmr:allow instead)"
 	@echo "  test         full test suite"
 	@echo "  race         full test suite under -race"
 	@echo "  check        CI gate: build + vet + lint + race + smoke benchmarks"
@@ -63,10 +68,20 @@ vet: build
 	$(GO) vet ./...
 
 # lint runs the protocol-invariant analyzer suite through the real go vet
-# -vettool driver (cmd/drtmr-vet speaks the unitchecker protocol).
+# -vettool driver (cmd/drtmr-vet speaks the unitchecker protocol), sweeping
+# both race/!race build-tag halves and ratcheting against the committed
+# baseline in both directions. The SARIF log is the CI code-scanning
+# artifact.
 lint: build
 	$(GO) build -o bin/drtmr-vet ./cmd/drtmr-vet
-	$(GO) vet -vettool="$(CURDIR)/bin/drtmr-vet" ./...
+	./bin/drtmr-vet -race -sarif bin/drtmr-vet.sarif ./...
+
+# lint-baseline regenerates lint-baseline.json from the current findings.
+# Policy: the committed baseline stays empty (DESIGN.md, Static invariants);
+# use this only to audit what a dirty tree would ratchet.
+lint-baseline: build
+	$(GO) build -o bin/drtmr-vet ./cmd/drtmr-vet
+	./bin/drtmr-vet -race -write-baseline ./...
 
 test:
 	$(GO) test ./...

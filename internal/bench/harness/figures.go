@@ -852,6 +852,9 @@ func RunRecovery(nodes, threads int, runFor time.Duration, lease time.Duration) 
 			if tl.RecoveredAt.IsZero() {
 				tl.RecoveredAt = at
 			}
+		case obs.MilestoneKilled:
+			// KillAt comes from the harness's own kill record (the killer
+			// knows the instant exactly); the event copy is redundant.
 		}
 	}
 	if !tl.SuspectAt.IsZero() {

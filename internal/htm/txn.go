@@ -330,6 +330,7 @@ func (t *Txn) Read(off uint64, n int, buf []byte) ([]byte, error) {
 	first := sim.LineOf(uintptr(off))
 	last := sim.LineOf(uintptr(off) + uintptr(n) - 1)
 	for li := first; li <= last; li++ {
+		//drtmr:allow lockorder opMu is this txn's own op mutex; aborters only TryLock it (never block), so the requester-wins spin inside acquireLine cannot deadlock and MUST run under opMu for cleanup atomicity
 		if err := t.acquireLine(li, false); err != nil {
 			return nil, err
 		}
@@ -372,6 +373,7 @@ func (t *Txn) Write(off uint64, data []byte) error {
 	first := sim.LineOf(uintptr(off))
 	last := sim.LineOf(uintptr(off) + uintptr(n) - 1)
 	for li := first; li <= last; li++ {
+		//drtmr:allow lockorder opMu is this txn's own op mutex; aborters only TryLock it (never block), so the requester-wins spin inside acquireLine cannot deadlock and MUST run under opMu for cleanup atomicity
 		if err := t.acquireLine(li, true); err != nil {
 			return err
 		}

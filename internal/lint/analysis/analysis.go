@@ -49,6 +49,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts holds the interprocedural summaries (see summary.go) for this
+	// package plus everything imported below it. Always non-nil during Run.
+	Facts *PkgFacts
+	// Fixture is true under the analysistest driver: package-path-scoped
+	// heuristics (e.g. lockorder's wire-I/O rule, normally limited to
+	// internal/serve) apply unconditionally so fixtures can exercise them.
+	Fixture bool
+
 	diags *[]Diagnostic
 }
 
@@ -116,6 +124,11 @@ type Options struct {
 	// IgnoreFilters runs every analyzer on the package regardless of its
 	// PackageFilter (fixture mode).
 	IgnoreFilters bool
+	// Facts supplies precomputed interprocedural summaries (with dependency
+	// facts folded in, as the unitchecker does). When nil, Run summarizes
+	// the package in isolation — sufficient for fixtures and same-package
+	// propagation.
+	Facts *PkgFacts
 }
 
 // Run executes the analyzers over one type-checked package, applies the
@@ -123,6 +136,10 @@ type Options struct {
 // sorted by position. Directive hygiene (missing reason, unknown analyzer
 // name) is reported as diagnostics of the pseudo-analyzer "allow".
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	facts := opts.Facts
+	if facts == nil {
+		facts = Summarize(fset, files, pkg, info, nil)
+	}
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		if !opts.IgnoreFilters && a.PackageFilter != nil && pkg != nil && !a.PackageFilter(pkg.Path()) {
@@ -134,6 +151,8 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
+			Fixture:   opts.IgnoreFilters,
 			diags:     &raw,
 		}
 		if err := a.Run(pass); err != nil {

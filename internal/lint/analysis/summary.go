@@ -1,0 +1,465 @@
+// Summary-based interprocedural facts. Summarize walks every function in a
+// package once and produces a FuncSummary per function: behaviour flags
+// (may-yield, may-block, may-allocate, may-do-wire-I/O), the set of lock
+// classes the function transitively acquires, and the lock-order edges its
+// body creates (lock B acquired while A is held). Summaries are propagated
+// bottom-up: calls into already-summarized functions (same package via an
+// in-package fixpoint, dependency packages via the vetx facts files the
+// unitchecker exchanges with cmd/go) fold the callee's facts into the
+// caller's, so an analyzer looking at one call site sees the whole call
+// chain behind it. Standard-library behaviour is modelled by a conservative
+// table (synthesize): sync/atomic and math/bits are pure, fmt allocates,
+// sync.Mutex.Lock blocks, net/io/os do wire I/O, and anything unknown is
+// assumed to allocate and block.
+//
+// Three doc-comment directives feed the summaries:
+//
+//	//drtmr:hotpath          this function must be transitively allocation-free
+//	//drtmr:locks <class>    calling this function acquires the named pseudo-
+//	                         lock (CAS lock words, contention gates) — the
+//	                         class joins the acquisition graph for cycle
+//	                         checks but is exempt from the held-across-yield
+//	                         rule (protocol locks are legitimately held
+//	                         across yields)
+//	//drtmr:unlocks <class>  calling this function releases the pseudo-lock
+//
+// Precision notes (deliberate approximations, all safe-with-escape-hatch
+// because findings can carry a reasoned //drtmr:allow):
+//   - held-lock tracking is source-order linear, not path-sensitive: a lock
+//     released on every branch is considered released after the first
+//     syntactic Unlock;
+//   - function literals are summarized as separate pseudo-functions
+//     (key "parent$litN") so lock misuse inside them is still caught, but
+//     their flags do not propagate to the enclosing function (calling a
+//     closure is a dynamic call, which is conservatively may-allocate);
+//   - same-class edges (A while A) are dropped: they almost always mean two
+//     instances of one sharded structure, not re-entrant acquisition.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Flags is the behaviour bitmask of one function, transitively closed over
+// its callees.
+type Flags uint8
+
+const (
+	// FlagYield: may park the running coroutine / hand off control —
+	// channel operations, select, runtime.Gosched, or a callee that does.
+	FlagYield Flags = 1 << iota
+	// FlagBlock: may block the OS thread (mutex lock, cond wait, sleep,
+	// channel op, I/O).
+	FlagBlock
+	// FlagAlloc: may allocate on the heap.
+	FlagAlloc
+	// FlagWireIO: may perform network or file I/O (net/io/bufio/os, or a
+	// callee that does).
+	FlagWireIO
+)
+
+func (f Flags) String() string {
+	var parts []string
+	if f&FlagYield != 0 {
+		parts = append(parts, "yield")
+	}
+	if f&FlagBlock != 0 {
+		parts = append(parts, "block")
+	}
+	if f&FlagAlloc != 0 {
+		parts = append(parts, "alloc")
+	}
+	if f&FlagWireIO != 0 {
+		parts = append(parts, "wireio")
+	}
+	if len(parts) == 0 {
+		return "pure"
+	}
+	return strings.Join(parts, "|")
+}
+
+// FuncSummary is one function's interprocedural fact record — the unit
+// serialized into vetx facts files.
+type FuncSummary struct {
+	Name    string `json:"name"`
+	Flags   Flags  `json:"flags,omitempty"`
+	Hotpath bool   `json:"hotpath,omitempty"`
+
+	// Via chains name the first witness behind a transitive flag, e.g.
+	// AllocVia "fmt.Errorf" or YieldVia "txn.(*Worker).yield → channel send".
+	YieldVia string `json:"yieldVia,omitempty"`
+	AllocVia string `json:"allocVia,omitempty"`
+	WireVia  string `json:"wireVia,omitempty"`
+
+	// Acquires lists every lock class this function may acquire, directly
+	// or through any callee. Pseudo-lock classes from //drtmr:locks carry a
+	// leading '@'.
+	Acquires []string `json:"acquires,omitempty"`
+
+	// LocksGate / UnlocksGate record //drtmr:locks / //drtmr:unlocks
+	// directives: calling this function acquires / releases the pseudo-lock.
+	LocksGate   string `json:"locksGate,omitempty"`
+	UnlocksGate string `json:"unlocksGate,omitempty"`
+}
+
+// LockEdge is one acquisition-order edge: To was acquired at Pos (inside Fn)
+// while From was held.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Fn   string `json:"fn"`
+	Pos  string `json:"pos,omitempty"`
+}
+
+// PkgSummaries is the vetx facts payload one package exports: its own
+// function summaries plus every acquisition edge it knows about (its own and
+// its dependencies', re-exported so cycle detection in a dependent package
+// sees the whole graph below it).
+type PkgSummaries struct {
+	Funcs []*FuncSummary `json:"funcs,omitempty"`
+	Edges []LockEdge     `json:"edges,omitempty"`
+}
+
+// DepFacts is the merged view of every dependency's PkgSummaries.
+type DepFacts struct {
+	Funcs map[string]*FuncSummary
+	Edges []LockEdge
+}
+
+// CallSite is one out-edge of a function body: a resolved call, a dynamic
+// call, or a direct scheduling-point operation, with the lock classes held
+// at that point.
+type CallSite struct {
+	Pos    token.Pos
+	Held   []string // lock classes held here ('@'-prefixed = pseudo-locks)
+	Callee string   // qualified key of a statically resolved callee, or ""
+	Dyn    string   // description of a dynamic call ("call through w.gate")
+	Op     string   // direct op: "channel send", "channel receive", "select"
+}
+
+// AllocOp is one local allocation site.
+type AllocOp struct {
+	Pos  token.Pos
+	What string
+}
+
+// FuncFacts is the per-function working set an analyzer consumes: the
+// summary plus the body-derived site lists the summary was built from.
+type FuncFacts struct {
+	Summary *FuncSummary
+	Decl    *ast.FuncDecl // nil for function literals
+	Pos     token.Pos     // reporting anchor (the func keyword / name)
+	Calls   []CallSite
+	Allocs  []AllocOp
+}
+
+// LocalEdge is a lock-order edge with its in-package position retained for
+// reporting.
+type LocalEdge struct {
+	From, To, Fn string
+	Pos          token.Pos
+}
+
+// PkgFacts is everything Summarize derives for one package.
+type PkgFacts struct {
+	Pkg        *types.Package
+	Local      map[string]*FuncFacts   // this package's functions (+ closures)
+	Imported   map[string]*FuncSummary // dependency + synthesized summaries
+	LocalEdges []LocalEdge
+	AllEdges   []LockEdge // LocalEdges rendered + dependency edges, deduped
+
+	edgeSeen map[string]bool
+	fset     *token.FileSet
+}
+
+// IsLocalModule reports whether an import path belongs to this repository
+// (facts are computed) as opposed to the standard library (facts are
+// synthesized from a table).
+func IsLocalModule(path string) bool {
+	return path == "drtmr" || strings.HasPrefix(path, "drtmr/")
+}
+
+// FuncKey returns the canonical summary key of a function: "pkg.Name" for
+// package-level functions, "pkg.(*Recv).Name" / "pkg.(Recv).Name" for
+// methods.
+func FuncKey(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t, ptr = p.Elem(), "*"
+		}
+		if n, ok := t.(*types.Named); ok {
+			prefix := ""
+			if n.Obj().Pkg() != nil {
+				prefix = n.Obj().Pkg().Path() + "."
+			}
+			return prefix + "(" + ptr + n.Obj().Name() + ")." + f.Name()
+		}
+		return f.FullName()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// ShortName compresses a summary key for diagnostics:
+// "drtmr/internal/obs.(*Recorder).Record" → "obs.(*Recorder).Record".
+func ShortName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// Lookup resolves a callee to its summary: local package first, then
+// dependency facts, then the standard-library model. Returns nil for
+// functions with no computable summary (interface methods of local types,
+// missing facts) — callers treat nil as unknown/conservative.
+func (pf *PkgFacts) Lookup(key string) *FuncSummary {
+	if ff := pf.Local[key]; ff != nil {
+		return ff.Summary
+	}
+	return pf.Imported[key]
+}
+
+// Summarize computes per-function facts for one type-checked package,
+// propagating dependency summaries (deps may be nil) through an in-package
+// fixpoint.
+func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *DepFacts) *PkgFacts {
+	pf := &PkgFacts{
+		Pkg:      pkg,
+		Local:    make(map[string]*FuncFacts),
+		Imported: make(map[string]*FuncSummary),
+		edgeSeen: make(map[string]bool),
+		fset:     fset,
+	}
+	var depEdges []LockEdge
+	if deps != nil {
+		for k, s := range deps.Funcs {
+			pf.Imported[k] = s
+		}
+		depEdges = deps.Edges
+	}
+
+	// Pre-pass: directives, so gate annotations resolve regardless of
+	// declaration order.
+	type declInfo struct {
+		key string
+		fd  *ast.FuncDecl
+	}
+	var decls []declInfo
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := declKey(pkg, info, fd)
+			sum := &FuncSummary{Name: key}
+			parseFuncDirectives(fd, sum)
+			pf.Local[key] = &FuncFacts{Summary: sum, Decl: fd, Pos: fd.Name.Pos()}
+			decls = append(decls, declInfo{key, fd})
+		}
+	}
+
+	// Body walk: local flags, lock tracking, call/alloc sites, direct edges.
+	for _, di := range decls {
+		w := &funcWalker{pf: pf, info: info, key: di.key, ff: pf.Local[di.key]}
+		w.walkBody(di.fd.Body)
+	}
+
+	// In-package fixpoint: fold callee facts into callers until stable.
+	pf.propagate()
+
+	// Assemble the full edge set: local first (stable report positions),
+	// then dependency edges.
+	for _, e := range pf.LocalEdges {
+		pf.addAllEdge(LockEdge{From: e.From, To: e.To, Fn: e.Fn, Pos: fset.Position(e.Pos).String()})
+	}
+	for _, e := range depEdges {
+		pf.addAllEdge(e)
+	}
+	return pf
+}
+
+func (pf *PkgFacts) addAllEdge(e LockEdge) {
+	k := e.From + "\x00" + e.To + "\x00" + e.Fn
+	if pf.edgeSeen[k] {
+		return
+	}
+	pf.edgeSeen[k] = true
+	pf.AllEdges = append(pf.AllEdges, e)
+}
+
+// Export renders the facts a dependent package needs: local function
+// summaries (closures excluded — they are not addressable across packages)
+// plus the aggregated edge set.
+func (pf *PkgFacts) Export() *PkgSummaries {
+	out := &PkgSummaries{Edges: pf.AllEdges}
+	var keys []string
+	for k, ff := range pf.Local {
+		if ff.Decl == nil {
+			continue // closure pseudo-function
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out.Funcs = append(out.Funcs, pf.Local[k].Summary)
+	}
+	return out
+}
+
+// propagate runs the in-package fixpoint over flags, acquire sets, and
+// callee-derived lock edges.
+func (pf *PkgFacts) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range pf.Local {
+			sum := ff.Summary
+			for _, cs := range ff.Calls {
+				if cs.Callee == "" {
+					if cs.Dyn != "" {
+						// A call we cannot resolve: assume it allocates and
+						// blocks (but not that it yields — yield facts stay
+						// precise so lockorder does not cry wolf).
+						if sum.Flags&FlagAlloc == 0 {
+							sum.Flags |= FlagAlloc
+							sum.AllocVia = cs.Dyn
+							changed = true
+						}
+						if sum.Flags&FlagBlock == 0 {
+							sum.Flags |= FlagBlock
+							changed = true
+						}
+					}
+					continue
+				}
+				cal := pf.Lookup(cs.Callee)
+				if cal == nil {
+					// Unknown local-module callee (typically an interface
+					// method): conservative on allocation and blocking.
+					if sum.Flags&FlagAlloc == 0 {
+						sum.Flags |= FlagAlloc
+						sum.AllocVia = ShortName(cs.Callee) + " (unsummarized)"
+						changed = true
+					}
+					if sum.Flags&FlagBlock == 0 {
+						sum.Flags |= FlagBlock
+						changed = true
+					}
+					continue
+				}
+				if add := cal.Flags &^ sum.Flags; add != 0 {
+					sum.Flags |= add
+					short := ShortName(cs.Callee)
+					if add&FlagYield != 0 {
+						sum.YieldVia = chain(short, cal.YieldVia)
+					}
+					if add&FlagAlloc != 0 {
+						sum.AllocVia = chain(short, cal.AllocVia)
+					}
+					if add&FlagWireIO != 0 {
+						sum.WireVia = chain(short, cal.WireVia)
+					}
+					changed = true
+				}
+				// Transitive acquisitions, and the edges they induce at
+				// this (lock-held) call site.
+				acq := cal.Acquires
+				if g := cal.LocksGate; g != "" && !contains(acq, "@"+g) {
+					acq = append(append([]string(nil), acq...), "@"+g)
+				}
+				for _, a := range acq {
+					if !contains(sum.Acquires, a) {
+						sum.Acquires = append(sum.Acquires, a)
+						changed = true
+					}
+					for _, h := range cs.Held {
+						if h != a && pf.addLocalEdge(LocalEdge{From: h, To: a, Fn: sum.Name, Pos: cs.Pos}) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, ff := range pf.Local {
+		sort.Strings(ff.Summary.Acquires)
+	}
+}
+
+func (pf *PkgFacts) addLocalEdge(e LocalEdge) bool {
+	k := e.From + "\x00" + e.To + "\x00" + e.Fn
+	if pf.edgeSeen["local\x00"+k] {
+		return false
+	}
+	pf.edgeSeen["local\x00"+k] = true
+	pf.LocalEdges = append(pf.LocalEdges, e)
+	return true
+}
+
+func chain(head, tail string) string {
+	if tail == "" || tail == head {
+		return head
+	}
+	// Bound the witness chain so diagnostics stay readable.
+	if strings.Count(tail, "→") >= 2 {
+		if i := strings.LastIndex(tail, " → "); i > 0 {
+			tail = tail[:i] + " → …"
+		}
+	}
+	return head + " → " + tail
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func declKey(pkg *types.Package, info *types.Info, fd *ast.FuncDecl) string {
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok && obj != nil {
+		return FuncKey(obj)
+	}
+	path := ""
+	if pkg != nil {
+		path = pkg.Path() + "."
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		return path + "(?)." + fd.Name.Name
+	}
+	return path + fd.Name.Name
+}
+
+// parseFuncDirectives reads //drtmr:hotpath, //drtmr:locks, //drtmr:unlocks
+// from a function's doc comment.
+func parseFuncDirectives(fd *ast.FuncDecl, sum *FuncSummary) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case text == "//drtmr:hotpath" || strings.HasPrefix(text, "//drtmr:hotpath "):
+			sum.Hotpath = true
+		case strings.HasPrefix(text, "//drtmr:locks "):
+			sum.LocksGate = strings.Fields(text[len("//drtmr:locks "):])[0]
+		case strings.HasPrefix(text, "//drtmr:unlocks "):
+			sum.UnlocksGate = strings.Fields(text[len("//drtmr:unlocks "):])[0]
+		}
+	}
+	if sum.LocksGate != "" {
+		sum.Acquires = append(sum.Acquires, "@"+sum.LocksGate)
+	}
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"drtmr/internal/lint/analysis"
+)
+
+// EnumSwitch checks that switches over the repo's protocol enumerations are
+// exhaustive or carry an explicit default-with-reason. Two membership modes:
+//
+//   - named-type mode: the switch tag has a named integer type (AbortReason,
+//     obs.Kind, wire.Kind, ContentionMode, ...) with at least two
+//     package-scope constants of exactly that type — those constants are the
+//     enum;
+//   - prefix-family mode: the tag is a plain integer but every case names a
+//     constant from one package with a shared name prefix of >= 3 characters
+//     (StageExecute/StageLock/... , StatusOK/StatusAbort/...) — the
+//     same-typed, same-prefixed constants of that package are the enum.
+//
+// Counting sentinels (Num*/num*/Max*/max*/*Sentinel) are not members.
+// Coverage is by constant value, so aliases count. A switch missing members
+// without a default is reported; so is a bare empty default (no statements,
+// no comment) because it silently swallows new members — a default with a
+// body or an attached comment documents the intent and passes. Test files
+// and switches with non-constant cases are skipped.
+var EnumSwitch = &analysis.Analyzer{
+	Name:          "enumswitch",
+	Doc:           "switches over protocol enums must be exhaustive or carry an explicit default-with-reason",
+	Run:           runEnumSwitch,
+	PackageFilter: isSummaryPackage,
+}
+
+func runEnumSwitch(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkEnumSwitch(pass, file, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *analysis.Pass, file *ast.File, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+
+	// Collect case constants; bail on any non-named-constant case.
+	var caseConsts []*types.Const
+	var defaultClause *ast.CaseClause
+	for _, s := range sw.Body.List {
+		cc, ok := s.(*ast.CaseClause)
+		if !ok {
+			return
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			c := namedConst(pass.TypesInfo, e)
+			if c == nil {
+				return
+			}
+			caseConsts = append(caseConsts, c)
+		}
+	}
+	if len(caseConsts) == 0 {
+		return
+	}
+
+	members, enumName := enumMembers(tv.Type, caseConsts)
+	if len(members) < 2 {
+		return
+	}
+
+	// Coverage by constant value.
+	covered := make(map[string]bool)
+	for _, c := range caseConsts {
+		covered[constKey(c)] = true
+	}
+	var missing []string
+	seenMissing := make(map[string]bool)
+	for _, m := range members {
+		k := constKey(m)
+		if covered[k] || seenMissing[k] {
+			continue // value covered, or an alias of a member already listed
+		}
+		seenMissing[k] = true
+		missing = append(missing, m.Name())
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	list := strings.Join(missing, ", ")
+	if len(missing) > 6 {
+		list = strings.Join(missing[:6], ", ") + ", …"
+	}
+
+	if defaultClause == nil {
+		pass.Reportf(sw.Switch, "switch over %s is not exhaustive: missing %s", enumName, list)
+		return
+	}
+	// A comment anywhere in the empty clause documents it — same-line
+	// ("default: // reason") or indented lines before the next clause.
+	limit := sw.Body.End()
+	for _, s := range sw.Body.List {
+		if s.Pos() > defaultClause.End() && s.Pos() < limit {
+			limit = s.Pos()
+		}
+	}
+	if len(defaultClause.Body) == 0 && !hasAttachedComment(pass, file, defaultClause, limit) {
+		pass.Reportf(sw.Switch, "switch over %s has a bare empty default hiding missing %s; handle them or document the default", enumName, list)
+	}
+}
+
+// enumMembers resolves the enum a switch ranges over and returns its
+// members (counting sentinels excluded) plus a display name.
+func enumMembers(tagType types.Type, caseConsts []*types.Const) ([]*types.Const, string) {
+	// Named-type mode.
+	if n, ok := unalias(tagType).(*types.Named); ok {
+		if b, ok := n.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 && n.Obj().Pkg() != nil {
+			var members []*types.Const
+			scope := n.Obj().Pkg().Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok || isCountingSentinel(name) {
+					continue
+				}
+				if types.Identical(c.Type(), n) {
+					members = append(members, c)
+				}
+			}
+			if len(members) >= 2 {
+				return members, n.Obj().Name()
+			}
+		}
+	}
+
+	// Prefix-family mode: all case constants from one package, one type,
+	// sharing a name prefix of >= 3 characters.
+	pkg := caseConsts[0].Pkg()
+	typ := caseConsts[0].Type()
+	if pkg == nil || len(caseConsts) < 2 {
+		return nil, ""
+	}
+	prefix := caseConsts[0].Name()
+	for _, c := range caseConsts[1:] {
+		if c.Pkg() != pkg || !types.Identical(c.Type(), typ) {
+			return nil, ""
+		}
+		prefix = commonPrefix(prefix, c.Name())
+	}
+	if len(prefix) < 3 {
+		return nil, ""
+	}
+	var members []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || isCountingSentinel(name) || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if types.Identical(c.Type(), typ) {
+			members = append(members, c)
+		}
+	}
+	if len(members) < 2 {
+		return nil, ""
+	}
+	return members, prefix + "* family"
+}
+
+func unalias(t types.Type) types.Type {
+	if a, ok := t.(*types.Alias); ok {
+		return types.Unalias(a)
+	}
+	return t
+}
+
+func namedConst(info *types.Info, e ast.Expr) *types.Const {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[x].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[x.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+func constKey(c *types.Const) string {
+	return c.Val().ExactString()
+}
+
+// isCountingSentinel reports whether a constant name marks a count/limit
+// rather than an enum member (NumAbortReasons, numKinds, MaxFrame, ...).
+func isCountingSentinel(name string) bool {
+	return strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") ||
+		strings.HasPrefix(name, "Max") || strings.HasPrefix(name, "max") ||
+		strings.HasSuffix(name, "Sentinel")
+}
+
+func commonPrefix(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+// hasAttachedComment reports whether any comment lies within the default
+// clause's region: the clause's own source range, its end line ("default:
+// // future kinds ignored on purpose"), or — for an empty body, whose End
+// is right after the colon — indented comment lines up to the next clause
+// (limit).
+func hasAttachedComment(pass *analysis.Pass, file *ast.File, cc *ast.CaseClause, limit token.Pos) bool {
+	end := cc.End()
+	endLine := pass.Fset.Position(end).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Pos() >= cc.Pos() && (c.Pos() < limit || pass.Fset.Position(c.Pos()).Line == endLine) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"sort"
+
+	"drtmr/internal/lint/analysis"
+)
+
+// HotAlloc enforces that every function annotated //drtmr:hotpath is
+// transitively allocation-free. The walker records local allocation sites
+// (append growth, make/new, composite-literal escapes, closures, map writes,
+// string concatenation and conversions, interface boxing at call arguments,
+// go statements) and the summary fixpoint folds callee allocations upward,
+// so a hotpath caller inherits a deep callee's allocation with a via chain
+// naming the witness. Dynamic calls and unsummarized callees cannot be
+// proven allocation-free and are reported as such; the paired
+// AllocsPerRun == 0 runtime tests (internal/txn/hotpath_alloc_test.go)
+// cross-validate the static verdicts.
+var HotAlloc = &analysis.Analyzer{
+	Name:          "hotalloc",
+	Doc:           "functions marked //drtmr:hotpath must be transitively allocation-free",
+	Run:           runHotAlloc,
+	PackageFilter: isSummaryPackage,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	pf := pass.Facts
+	if pf == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(pf.Local))
+	for k := range pf.Local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		ff := pf.Local[k]
+		if !ff.Summary.Hotpath {
+			continue
+		}
+		for _, op := range ff.Allocs {
+			pass.Reportf(op.Pos, "allocation in hotpath function: %s", op.What)
+		}
+		for _, cs := range ff.Calls {
+			switch {
+			case cs.Op != "":
+				// Channel operations do not allocate.
+			case cs.Dyn != "":
+				pass.Reportf(cs.Pos, "hotpath function makes a %s, which cannot be proven allocation-free", cs.Dyn)
+			case cs.Callee != "":
+				cal := pf.Lookup(cs.Callee)
+				if cal == nil {
+					pass.Reportf(cs.Pos, "hotpath function calls %s, which has no summary and cannot be proven allocation-free",
+						analysis.ShortName(cs.Callee))
+					continue
+				}
+				if cal.Flags&analysis.FlagAlloc != 0 {
+					pass.Reportf(cs.Pos, "hotpath function calls %s, which may allocate%s",
+						analysis.ShortName(cs.Callee), viaClause(cs.Callee, cal.AllocVia))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -4,13 +4,22 @@
 // compile-time errors. They run over every build via `make lint` /
 // scripts/check.sh through cmd/drtmr-vet (a `go vet -vettool` multichecker).
 //
-// The five invariants (DESIGN.md "Static invariants" has the full story):
+// The eight invariants (DESIGN.md "Static invariants" has the full story):
 //
 //	htmregion   — no blocking/yielding operation inside an HTM region
 //	virtualtime — no wall clock or global randomness in protocol packages
 //	abortattr   — every txn.Error names its Stage and Site
 //	lockpair    — lock CAS results are fully scanned and recorded
 //	doorbell    — no raw single-verb QP calls where a Batch is in scope
+//	lockorder   — no lock-order cycles; no lock held across a coroutine
+//	              yield, or across wire I/O in internal/serve (interprocedural)
+//	hotalloc    — //drtmr:hotpath functions are transitively allocation-free
+//	enumswitch  — switches over protocol enums are exhaustive or carry an
+//	              explicit default-with-reason
+//
+// The last three ride on the summary-based interprocedural framework in
+// internal/lint/analysis (summary.go): per-function facts propagated
+// bottom-up, across packages via vetx facts files under `go vet`.
 //
 // Findings are suppressed with `//drtmr:allow <analyzer> <reason>` on the
 // offending line or the line above; the reason is mandatory.
@@ -31,6 +40,9 @@ var Analyzers = []*analysis.Analyzer{
 	AbortAttr,
 	LockPair,
 	Doorbell,
+	LockOrder,
+	HotAlloc,
+	EnumSwitch,
 }
 
 // protocolPackages are the import paths whose code must stay bit-deterministic
@@ -73,6 +85,16 @@ func isProtocolPackage(path string) bool {
 func isAbortSurfacePackage(path string) bool {
 	return isProtocolPackage(path) ||
 		path == "drtmr/internal/serve" || strings.HasPrefix(path, "drtmr/internal/serve/")
+}
+
+// isSummaryPackage scopes the interprocedural analyzers (lockorder,
+// hotalloc, enumswitch) to the packages whose lock discipline, hot paths,
+// and enums the protocol's correctness and measurements depend on: the
+// protocol/simulator tree plus the observability layer (its ring recorder
+// and live histograms are the canonical //drtmr:hotpath surfaces).
+func isSummaryPackage(path string) bool {
+	return inProtocolPackages(path) ||
+		path == "drtmr/internal/obs" || strings.HasPrefix(path, "drtmr/internal/obs/")
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

@@ -32,32 +32,51 @@ func TestDoorbell(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Doorbell, "doorbell")
 }
 
-// TestPackageFilters pins the analyzer scoping, which comes in three widths:
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockOrder, "lockorder")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "hotalloc")
+}
+
+func TestEnumSwitch(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.EnumSwitch, "enumswitch")
+}
+
+// TestPackageFilters pins the analyzer scoping, which comes in four widths:
 // the commit-pipeline checks (htmregion, lockpair, doorbell) cover
 // internal/txn AND any protocol package nested under it; abort attribution
 // additionally covers the serve tree, which mints and reconstructs typed
 // aborts at the network boundary; determinism (virtualtime) covers every
-// protocol package including serve. Nothing fires on the harness-external
-// packages (cmd, examples, lint).
+// protocol package including serve; the interprocedural summary analyzers
+// (lockorder, hotalloc, enumswitch) cover the protocol packages plus the
+// obs tree (whose ring recorder and live histograms are the canonical
+// hotpath surfaces). Nothing fires on the harness-external packages (cmd,
+// examples, lint).
 func TestPackageFilters(t *testing.T) {
 	cases := []struct {
 		path        string
 		txnOnly     bool
 		abortAttr   bool
 		virtualTime bool
+		summary     bool
 	}{
-		{"drtmr/internal/txn", true, true, true},
-		{"drtmr/internal/txn/farmproto", true, true, true},
-		{"drtmr/internal/txnhelpers", false, false, false},
-		{"drtmr/internal/rdma", false, false, true},
-		{"drtmr/internal/bench/harness", false, false, true},
-		{"drtmr/internal/bench/serveload", false, false, true},
-		{"drtmr/internal/serve", false, true, true},
-		{"drtmr/internal/serve/client", false, true, true},
-		{"drtmr/internal/servehelpers", false, false, false},
-		{"drtmr/internal/lint", false, false, false},
-		{"drtmr/cmd/drtmr-serve", false, false, false},
-		{"drtmr/cmd/drtmr-bench", false, false, false},
+		{"drtmr/internal/txn", true, true, true, true},
+		{"drtmr/internal/txn/farmproto", true, true, true, true},
+		{"drtmr/internal/txnhelpers", false, false, false, false},
+		{"drtmr/internal/rdma", false, false, true, true},
+		{"drtmr/internal/bench/harness", false, false, true, true},
+		{"drtmr/internal/bench/serveload", false, false, true, true},
+		{"drtmr/internal/serve", false, true, true, true},
+		{"drtmr/internal/serve/client", false, true, true, true},
+		{"drtmr/internal/servehelpers", false, false, false, false},
+		{"drtmr/internal/obs", false, false, false, true},
+		{"drtmr/internal/obs/trace", false, false, false, true},
+		{"drtmr/internal/obstacles", false, false, false, false},
+		{"drtmr/internal/lint", false, false, false, false},
+		{"drtmr/cmd/drtmr-serve", false, false, false, false},
+		{"drtmr/cmd/drtmr-bench", false, false, false, false},
 	}
 	for _, c := range cases {
 		for _, a := range lint.Analyzers {
@@ -72,6 +91,8 @@ func TestPackageFilters(t *testing.T) {
 				want = c.virtualTime
 			case "abortattr":
 				want = c.abortAttr
+			case "lockorder", "hotalloc", "enumswitch":
+				want = c.summary
 			default:
 				want = c.txnOnly
 			}

@@ -20,11 +20,16 @@ import (
 // .Swapped field of a *rdma.Pending):
 //
 //  1. no statement in the loop may exit it early (break out of the loop,
-//     or return) — record failures and act after the scan completes;
+//     a labeled continue targeting an enclosing loop, or return) — record
+//     failures and act after the scan completes;
 //  2. the loop must record acquisitions somewhere: an append to a back-out
 //     slice or a call to a release/unlock/record helper.
 //
-// Breaks that target a switch/select nested inside the loop are fine.
+// Breaks that target a switch/select nested inside the loop are fine, as are
+// unlabeled continues and continues naming the scan loop itself (both start
+// the next result) — but `continue groups` out to a group driver (the farm
+// F.1 / fallback per-node-group shape) abandons the rest of the scan exactly
+// like a break does.
 var LockPair = &analysis.Analyzer{
 	Name:          "lockpair",
 	Doc:           "lock-word CAS results must be fully scanned and every won lock recorded in the back-out set",
@@ -34,6 +39,15 @@ var LockPair = &analysis.Analyzer{
 
 func runLockPair(pass *analysis.Pass) error {
 	for _, fd := range funcDecls(pass.Files) {
+		// Map loop statements to their labels so a scan loop knows its own
+		// label (continue to it is a normal next-iteration).
+		loopLabels := make(map[ast.Stmt]string)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ls, ok := n.(*ast.LabeledStmt); ok && ls.Stmt != nil {
+				loopLabels[ls.Stmt] = ls.Label.Name
+			}
+			return true
+		})
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			var body *ast.BlockStmt
 			switch loop := n.(type) {
@@ -52,7 +66,7 @@ func runLockPair(pass *analysis.Pass) error {
 			if hasNestedSwappedLoop(pass.TypesInfo, body) {
 				return true
 			}
-			checkScanLoop(pass, n, body)
+			checkScanLoop(pass, n, body, loopLabels[n.(ast.Stmt)])
 			return true
 		})
 	}
@@ -111,7 +125,23 @@ func hasNestedSwappedLoop(info *types.Info, body *ast.BlockStmt) bool {
 }
 
 // checkScanLoop applies the two lock-discipline rules to one result scan.
-func checkScanLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+// scanLabel is the scan loop's own label ("" if unlabeled).
+func checkScanLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt, scanLabel string) {
+	// Labels that a continue may safely target: the scan loop itself plus
+	// any labeled statement nested inside the scan body (continuing either
+	// stays within the scan). Anything else is an enclosing loop — leaving
+	// for it abandons the rest of the results.
+	safeLabels := map[string]bool{}
+	if scanLabel != "" {
+		safeLabels[scanLabel] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			safeLabels[ls.Label.Name] = true
+		}
+		return true
+	})
+
 	// Rule 1: no early exit. Track switch/select nesting so their breaks
 	// don't count; skip nested function literals entirely.
 	var walk func(n ast.Node, breakable int)
@@ -140,6 +170,13 @@ func checkScanLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
 				// Unlabeled break inside a nested breakable construct stays
 				// local; a labeled break always targets an enclosing loop.
 				exits = breakable == 0 || st.Label != nil
+			case "continue":
+				// Unlabeled continue (and continue to the scan's own label,
+				// or to a loop nested in the scan) starts the next result;
+				// a continue naming an ENCLOSING loop's label leaves the
+				// scan mid-batch — the labeled-continue variant of the
+				// early-break leak.
+				exits = st.Label != nil && !safeLabels[st.Label.Name]
 			case "goto":
 				exits = true
 			}

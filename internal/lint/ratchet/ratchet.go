@@ -1,0 +1,329 @@
+// Package ratchet turns the vet suite's findings into a one-way CI gate.
+//
+// The unitchecker emits per-unit findings as JSON (DRTMRVET_EMIT); the
+// drtmr-vet CLI collects them, normalizes paths, and diffs against the
+// committed baseline (lint-baseline.json). Baseline entries are keyed by
+// (analyzer, file, message) with an occurrence count — line numbers are
+// deliberately excluded so unrelated edits that shift a finding do not churn
+// the file. The diff fails in BOTH directions: a finding not in the baseline
+// is new debt (fix it or //drtmr:allow it with a reason), and a baseline
+// entry with no live finding is stale (the debt was paid — remove the entry
+// so it can never silently come back). `drtmr-vet -write-baseline`
+// regenerates the file; the committed baseline is empty and the policy is
+// that it stays empty (DESIGN.md "Static invariants").
+//
+// The same findings render as plain JSON (-json) and as SARIF 2.1.0
+// (-sarif), the exchange format CI systems ingest for code-scanning
+// annotations.
+package ratchet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic as exchanged between the unitchecker and the
+// CLI driver.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// key is the ratchet identity of a finding: line-free so edits that move
+// code do not invalidate the baseline.
+func (f Finding) key() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// ReadEmitted loads every per-unit findings file from an emit directory,
+// deduplicates findings that appear in multiple build variants (the package
+// and its test variant, race and !race halves), and normalizes file paths
+// relative to root.
+func ReadEmitted(dir, root string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Finding
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var fs []Finding
+		if err := json.Unmarshal(data, &fs); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		for _, f := range fs {
+			f.File = normalizePath(f.File, root)
+			id := fmt.Sprintf("%s\x00%d\x00%d", f.key(), f.Line, f.Col)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, f)
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+func normalizePath(file, root string) string {
+	if root == "" || !filepath.IsAbs(file) {
+		return filepath.ToSlash(file)
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// Sort orders findings by file, line, column, analyzer.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// BaselineEntry is one audited pre-existing finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (b BaselineEntry) key() string {
+	return b.Analyzer + "\x00" + b.File + "\x00" + b.Message
+}
+
+// Baseline is the committed debt ledger.
+type Baseline struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+const baselineComment = "drtmr-vet ratchet baseline: audited pre-existing findings. " +
+	"Policy: keep empty — fix findings or //drtmr:allow them with a reason. " +
+	"Regenerate with `drtmr-vet -write-baseline` (see DESIGN.md, Static invariants)."
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline renders the current findings as the new baseline.
+func WriteBaseline(path string, findings []Finding) error {
+	counts := make(map[string]int)
+	meta := make(map[string]Finding)
+	for _, f := range findings {
+		counts[f.key()]++
+		meta[f.key()] = f
+	}
+	b := Baseline{Comment: baselineComment}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := meta[k]
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer, File: f.File, Message: f.Message, Count: counts[k],
+		})
+	}
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// Diff compares live findings against the baseline. newFindings are not
+// covered by the baseline (each baseline entry covers up to Count
+// occurrences of its key); stale are baseline entries whose finding class
+// has fewer live occurrences than recorded — the debt shrank and the ledger
+// must be updated. Both directions fail the ratchet.
+func Diff(findings []Finding, base *Baseline) (newFindings []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int)
+	for _, e := range base.Findings {
+		budget[e.key()] += e.Count
+	}
+	live := make(map[string]int)
+	for _, f := range findings {
+		live[f.key()]++
+		if live[f.key()] > budget[f.key()] {
+			newFindings = append(newFindings, f)
+		}
+	}
+	for _, e := range base.Findings {
+		if live[e.key()] < e.Count {
+			stale = append(stale, e)
+		}
+	}
+	return newFindings, stale
+}
+
+// WriteJSON renders findings as a plain JSON array.
+func WriteJSON(path string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// sarif 2.1.0 — the minimal subset code-scanning consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// RuleDocs maps analyzer names to their one-line docs for the SARIF rule
+// table; the CLI fills it from the analyzer suite.
+type RuleDocs map[string]string
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log.
+func WriteSARIF(path string, findings []Finding, docs RuleDocs) error {
+	rules := make(map[string]bool)
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		rules[f.Analyzer] = true
+		col := f.Col
+		if col <= 0 {
+			col = 1
+		}
+		line := f.Line
+		if line <= 0 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+	var ruleList []sarifRule
+	names := make([]string, 0, len(rules))
+	for n := range rules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ruleList = append(ruleList, sarifRule{ID: n, ShortDescription: sarifMessage{Text: docs[n]}})
+	}
+	if ruleList == nil {
+		ruleList = []sarifRule{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "drtmr-vet", Rules: ruleList}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

@@ -1,0 +1,203 @@
+package ratchet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func finding(analyzer, file string, line int, msg string) Finding {
+	return Finding{Analyzer: analyzer, File: file, Line: line, Col: 1, Message: msg}
+}
+
+func TestDiffBothDirections(t *testing.T) {
+	base := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "lockorder", File: "a.go", Message: "held across send", Count: 2},
+		{Analyzer: "hotalloc", File: "b.go", Message: "append may grow", Count: 1},
+	}}
+
+	// Exactly the baselined findings: clean in both directions.
+	live := []Finding{
+		finding("lockorder", "a.go", 10, "held across send"),
+		finding("lockorder", "a.go", 20, "held across send"),
+		finding("hotalloc", "b.go", 5, "append may grow"),
+	}
+	if nf, stale := Diff(live, base); len(nf) != 0 || len(stale) != 0 {
+		t.Fatalf("exact match: new=%v stale=%v, want none", nf, stale)
+	}
+
+	// Line moves do not churn the ratchet: keys are line-free.
+	moved := []Finding{
+		finding("lockorder", "a.go", 99, "held across send"),
+		finding("lockorder", "a.go", 100, "held across send"),
+		finding("hotalloc", "b.go", 77, "append may grow"),
+	}
+	if nf, stale := Diff(moved, base); len(nf) != 0 || len(stale) != 0 {
+		t.Fatalf("line-shifted match: new=%v stale=%v, want none", nf, stale)
+	}
+
+	// A third occurrence of a baselined class exceeds its budget: new debt.
+	over := append(live, finding("lockorder", "a.go", 30, "held across send"))
+	if nf, _ := Diff(over, base); len(nf) != 1 || nf[0].Line != 30 {
+		t.Fatalf("over budget: new=%v, want exactly the line-30 finding", nf)
+	}
+
+	// A brand-new class fails regardless of the baseline.
+	fresh := append(live, finding("enumswitch", "c.go", 1, "not exhaustive"))
+	if nf, _ := Diff(fresh, base); len(nf) != 1 || nf[0].Analyzer != "enumswitch" {
+		t.Fatalf("new class: new=%v, want the enumswitch finding", nf)
+	}
+
+	// Paid debt without a ledger update is stale: also a failure.
+	paid := live[:2] // the hotalloc finding was fixed
+	if _, stale := Diff(paid, base); len(stale) != 1 || stale[0].Analyzer != "hotalloc" {
+		t.Fatalf("paid debt: stale=%v, want the hotalloc entry", stale)
+	}
+
+	// Partially paid counted debt is stale too.
+	partial := []Finding{
+		finding("lockorder", "a.go", 10, "held across send"),
+		finding("hotalloc", "b.go", 5, "append may grow"),
+	}
+	if _, stale := Diff(partial, base); len(stale) != 1 || stale[0].Analyzer != "lockorder" {
+		t.Fatalf("partially paid: stale=%v, want the lockorder entry", stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	live := []Finding{
+		finding("lockorder", "a.go", 10, "held across send"),
+		finding("lockorder", "a.go", 20, "held across send"),
+		finding("enumswitch", "c.go", 3, "not exhaustive"),
+	}
+	if err := WriteBaseline(path, live); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Comment == "" {
+		t.Error("written baseline carries no policy comment")
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (counted dedupe): %+v", len(b.Findings), b.Findings)
+	}
+	if nf, stale := Diff(live, b); len(nf) != 0 || len(stale) != 0 {
+		t.Fatalf("round-tripped baseline not clean: new=%v stale=%v", nf, stale)
+	}
+
+	// A missing file is an empty baseline, not an error.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Findings) != 0 {
+		t.Fatalf("missing baseline loaded as %+v, want empty", empty.Findings)
+	}
+
+	// An empty baseline serializes findings as [], not null.
+	if err := WriteBaseline(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["findings"].([]any); !ok {
+		t.Fatalf("empty baseline findings field is %T, want JSON array", raw["findings"])
+	}
+}
+
+func TestReadEmittedDedupesAndNormalizes(t *testing.T) {
+	dir := t.TempDir()
+	root := t.TempDir()
+	abs := filepath.Join(root, "internal", "txn", "commit.go")
+	write := func(name string, fs []Finding) {
+		data, err := json.Marshal(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The same finding emitted by the package unit and its test variant.
+	write("unit-aa.json", []Finding{finding("lockorder", abs, 10, "held across send")})
+	write("unit-bb.json", []Finding{finding("lockorder", abs, 10, "held across send")})
+	write("unit-cc.json", []Finding{finding("hotalloc", "rel/path.go", 2, "append may grow")})
+
+	fs, err := ReadEmitted(dir, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2 after cross-variant dedupe: %v", len(fs), fs)
+	}
+	if want := filepath.ToSlash(filepath.Join("internal", "txn", "commit.go")); fs[0].File != want && fs[1].File != want {
+		t.Errorf("absolute path not normalized to %q: %v", want, fs)
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	live := []Finding{finding("lockorder", "a.go", 10, "held across send")}
+	docs := RuleDocs{"lockorder": "lock acquisition order and hold-across rules"}
+	if err := WriteSARIF(path, live, docs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "drtmr-vet" {
+		t.Errorf("driver name %q, want drtmr-vet", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 1 || run.Tool.Driver.Rules[0].ID != "lockorder" {
+		t.Errorf("rules %v, want exactly lockorder", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "lockorder" || run.Results[0].Level != "error" {
+		t.Fatalf("results %+v, want one error-level lockorder result", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location %+v, want a.go:10", loc)
+	}
+}

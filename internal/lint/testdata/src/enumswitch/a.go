@@ -1,0 +1,143 @@
+// Fixture for the enumswitch analyzer: switches over protocol enums must be
+// exhaustive or carry an explicit default-with-reason. Covers the
+// named-type mode (a defined integer type with package-scope constants),
+// the prefix-family mode (same-typed constants sharing a name prefix),
+// counting-sentinel exclusion, value-based coverage (aliases count), the
+// bare-empty-default diagnostic, and the //drtmr:allow contract.
+package enumswitch
+
+// Named-type mode: Mode's members are ModeOff/ModeOn/ModeAuto; numModes is
+// a counting sentinel and not a member.
+type Mode uint8
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+	numModes
+)
+
+var _ = numModes // silence unused-sentinel vet in fixtures
+
+func good(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	case ModeOn:
+		return 1
+	case ModeAuto:
+		return 2
+	}
+	return -1
+}
+
+// A default with a body (or a comment) documents the intent and passes.
+func goodDefault(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func goodDefaultComment(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	default: // future modes measured as zero on purpose
+	}
+	return -1
+}
+
+// An indented comment inside the empty default documents it just as well.
+func goodDefaultIndentedComment(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	default:
+		// future modes measured as zero on purpose
+	}
+	return -1
+}
+
+func badMissing(m Mode) int {
+	switch m { // want "switch over Mode is not exhaustive: missing ModeAuto, ModeOn"
+	case ModeOff:
+		return 0
+	}
+	return -1
+}
+
+func badEmptyDefault(m Mode) int {
+	switch m { // want "switch over Mode has a bare empty default hiding missing ModeAuto; handle them or document the default"
+	case ModeOff, ModeOn:
+		return 0
+	default:
+	}
+	return -1
+}
+
+// Coverage is by constant value: an alias of a member covers it.
+const modeAlias = ModeAuto
+
+func goodAlias(m Mode) int {
+	switch m {
+	case ModeOff, ModeOn, modeAlias:
+		return 1
+	}
+	return -1
+}
+
+// Prefix-family mode: plain uint8 constants sharing the Stage prefix form
+// an enum even without a defined type.
+const (
+	StageExec uint8 = iota
+	StageLock
+	StageValidate
+	StageCommit
+)
+
+func badFamily(s uint8) string {
+	switch s { // want "switch over Stage\* family is not exhaustive: missing StageCommit, StageValidate"
+	case StageExec:
+		return "exec"
+	case StageLock:
+		return "lock"
+	}
+	return "?"
+}
+
+func goodFamily(s uint8) string {
+	switch s {
+	case StageExec, StageLock, StageValidate, StageCommit:
+		return "known"
+	}
+	return "?"
+}
+
+// Non-constant cases make the switch uncheckable: skipped, no finding.
+func skipNonConst(m, x Mode) int {
+	switch m {
+	case x:
+		return 1
+	}
+	return 0
+}
+
+// Suppression contract.
+func allowed(m Mode) int {
+	switch m { //drtmr:allow enumswitch measurement-only probe, other modes deliberately fall through
+	case ModeOff:
+		return 0
+	}
+	return -1
+}
+
+func reasonless(m Mode) int {
+	switch m { //drtmr:allow enumswitch // want "not exhaustive" "missing the required reason"
+	case ModeOn:
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,100 @@
+// Fixture for the hotalloc analyzer: //drtmr:hotpath functions must be
+// transitively allocation-free. Covers direct allocation shapes (append
+// growth, closures, string concat, map writes, interface boxing, make/new,
+// escaping composite literals), transitive inheritance through callees,
+// dynamic calls, and the //drtmr:allow suppression contract.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	buf []uint64
+	n   int
+	m   map[string]int
+}
+
+// A clean recorder: index assignment into a preallocated ring.
+//
+//drtmr:hotpath
+func goodRecord(r *ring, v uint64) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+}
+
+// Calling a transitively clean function is fine.
+//
+//drtmr:hotpath
+func goodCallsClean(r *ring, v uint64) {
+	goodRecord(r, v)
+}
+
+//drtmr:hotpath
+func badAppend(r *ring, v uint64) {
+	r.buf = append(r.buf, v) // want "allocation in hotpath function: append \(may grow backing array\)"
+}
+
+//drtmr:hotpath
+func badClosure(r *ring) func() {
+	return func() { r.n++ } // want "allocation in hotpath function: function literal \(closure\)"
+}
+
+//drtmr:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "allocation in hotpath function: string concatenation"
+}
+
+//drtmr:hotpath
+func badMapWrite(r *ring, k string) {
+	r.m[k] = 1 // want "allocation in hotpath function: map write"
+}
+
+//drtmr:hotpath
+func badMake(n int) []uint64 {
+	return make([]uint64, n) // want "allocation in hotpath function: make"
+}
+
+//drtmr:hotpath
+func badEscape() *ring {
+	return &ring{n: 1} // want "allocation in hotpath function: address of composite literal"
+}
+
+func sink(v any) { _ = v }
+
+//drtmr:hotpath
+func badBoxing(v int) {
+	sink(v) // want "allocation in hotpath function: argument boxed into interface parameter of hotalloc.sink"
+}
+
+// Constant arguments are materialized statically by the compiler — no
+// boxing finding, and panic with a constant is the htmregion-style idiom.
+//
+//drtmr:hotpath
+func goodConstArg() {
+	sink("fixed")
+}
+
+// deepAlloc is not itself a hotpath, but a hotpath caller inherits its
+// allocation through the summary with a via chain.
+func deepAlloc() string {
+	return fmt.Sprintf("%d", 1)
+}
+
+//drtmr:hotpath
+func badTransitive() {
+	_ = deepAlloc() // want "hotpath function calls hotalloc.deepAlloc, which may allocate \(via fmt.Sprintf\)"
+}
+
+//drtmr:hotpath
+func badDynamic(f func()) {
+	f() // want "hotpath function makes a dynamic call through f, which cannot be proven allocation-free"
+}
+
+//drtmr:hotpath
+func allowedAppend(r *ring, v uint64) {
+	r.buf = append(r.buf, v) //drtmr:allow hotalloc warmup-only growth, steady state never appends
+}
+
+//drtmr:hotpath
+func reasonlessAppend(r *ring, v uint64) {
+	r.buf = append(r.buf, v) //drtmr:allow hotalloc // want "allocation in hotpath" "missing the required reason"
+}

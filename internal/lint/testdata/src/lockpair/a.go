@@ -120,3 +120,65 @@ func missingReason(pend []*pending, targets []target) []target {
 	}
 	return acquired
 }
+
+// A labeled continue out to a group driver abandons the rest of the scan
+// exactly like a break — the farm F.1 / fallback per-node-group shape, where
+// the scan runs inside a `groups:` loop over node batches.
+func badLabeledContinue(groups [][]*pending, targets []target) []target {
+	var acquired []target
+groups:
+	for _, pend := range groups {
+		for i, p := range pend {
+			if p.Err != nil {
+				continue groups // want "early exit from a lock-CAS result scan"
+			}
+			if p.Swapped {
+				acquired = append(acquired, targets[i])
+			}
+		}
+	}
+	return acquired
+}
+
+// The fallback.go discipline: failures set a flag, the scan completes, and
+// the group loop is exited only AFTER the scan — unlabeled continue inside
+// the scan and `break groups` outside it are both fine.
+func goodFallbackShape(groups [][]*pending, targets []target) []target {
+	var acquired []target
+	lockFail := false
+groups:
+	for _, pend := range groups {
+		var next []target
+		for i, p := range pend {
+			if p.Err != nil {
+				lockFail = true
+				continue // unlabeled: next result, still inside the scan
+			}
+			if p.Swapped {
+				acquired = append(acquired, targets[i])
+			} else {
+				next = append(next, targets[i])
+			}
+		}
+		if lockFail {
+			break groups // after the scan completed: no leak
+		}
+		_ = next
+	}
+	return acquired
+}
+
+// Continue naming the scan loop's own label is a normal next-iteration.
+func goodOwnLabelContinue(pend []*pending, targets []target) []target {
+	var acquired []target
+scan:
+	for i, p := range pend {
+		if p.Err != nil {
+			continue scan
+		}
+		if p.Swapped {
+			acquired = append(acquired, targets[i])
+		}
+	}
+	return acquired
+}

@@ -11,9 +11,18 @@
 //	drtmr-vet -flags         print the supported flags as JSON
 //	drtmr-vet <dir>/vet.cfg  analyze one package unit
 //
-// Dependency units (VetxOnly) are acknowledged with an empty facts file and
-// skipped entirely: the drtmr analyzers are package-local and use no
-// cross-package facts, so there is nothing to compute for stdlib deps.
+// Facts: drtmr packages export interprocedural summaries
+// (analysis.PkgSummaries as JSON) through the vetx facts channel — a
+// dependency unit (VetxOnly) for a drtmr package is parsed, type-checked and
+// summarized so its dependents see its function behaviour and lock edges;
+// stdlib dependency units are acknowledged with an empty facts file (their
+// behaviour is synthesized from a table instead).
+//
+// Machine-readable output: when DRTMRVET_EMIT names a directory, each unit
+// with findings also writes them there as JSON (one file per unit), which
+// the drtmr-vet CLI aggregates into ratchet/JSON/SARIF reports. Findings
+// still go to stderr with exit status 2 — exiting 0 would let cmd/go cache
+// the run and swallow the emission on the next invocation.
 package unitchecker
 
 import (
@@ -33,6 +42,7 @@ import (
 	"strings"
 
 	"drtmr/internal/lint/analysis"
+	"drtmr/internal/lint/ratchet"
 )
 
 // Config is cmd/go's vet.cfg (cmd/go/internal/work.vetConfig). Fields we do
@@ -159,15 +169,24 @@ func analyzeUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]string, erro
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
-	// Acknowledge the facts protocol: the suite computes no cross-package
-	// facts, so the vetx output is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
+	path := unitImportPath(&cfg)
+
+	// Only drtmr packages carry computed facts; stdlib units are
+	// acknowledged with an empty facts file and skipped.
+	if !analysis.IsLocalModule(path) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return nil, nil
+	}
+
+	emptyVetx := func() error {
+		if cfg.VetxOutput != "" {
+			return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+		return nil
 	}
 
 	fset := token.NewFileSet()
@@ -176,7 +195,7 @@ func analyzeUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]string, erro
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, emptyVetx()
 			}
 			return nil, err
 		}
@@ -195,17 +214,38 @@ func analyzeUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]string, erro
 		GoVersion: cfg.GoVersion,
 		Sizes:     types.SizesFor("gc", buildGOARCH()),
 	}
-	pkg, err := tconf.Check(unitImportPath(&cfg), fset, files, info)
+	pkg, err := tconf.Check(path, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, emptyVetx()
 		}
 		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, analyzers, analysis.Options{})
+	// Fold in dependency facts, summarize, and export this unit's facts.
+	deps := readDepFacts(&cfg)
+	facts := analysis.Summarize(fset, files, pkg, info, deps)
+	if cfg.VetxOutput != "" {
+		out, err := json.Marshal(facts.Export())
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers, analysis.Options{Facts: facts})
 	if err != nil {
 		return nil, err
+	}
+	if dir := os.Getenv("DRTMRVET_EMIT"); dir != "" && len(diags) > 0 {
+		if err := emitFindings(dir, cfg.ID, fset, diags); err != nil {
+			return nil, err
+		}
 	}
 	out := make([]string, 0, len(diags))
 	for _, d := range diags {
@@ -213,6 +253,54 @@ func analyzeUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]string, erro
 		out = append(out, fmt.Sprintf("%s:%d:%d: %s: %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message))
 	}
 	return out, nil
+}
+
+// readDepFacts loads every drtmr dependency's vetx facts file named in the
+// unit config and merges them (empty files — stdlib acknowledgements or
+// failed units — are skipped).
+func readDepFacts(cfg *Config) *analysis.DepFacts {
+	deps := &analysis.DepFacts{Funcs: make(map[string]*analysis.FuncSummary)}
+	for path, file := range cfg.PackageVetx {
+		if !analysis.IsLocalModule(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var ps analysis.PkgSummaries
+		if err := json.Unmarshal(data, &ps); err != nil {
+			continue
+		}
+		for _, f := range ps.Funcs {
+			deps.Funcs[f.Name] = f
+		}
+		deps.Edges = append(deps.Edges, ps.Edges...)
+	}
+	return deps
+}
+
+// emitFindings writes one unit's findings as JSON into the DRTMRVET_EMIT
+// directory, named by a hash of the unit ID so parallel units never collide.
+func emitFindings(dir, unitID string, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	fs := make([]ratchet.Finding, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fs = append(fs, ratchet.Finding{
+			Analyzer: d.Analyzer,
+			File:     p.Filename,
+			Line:     p.Line,
+			Col:      p.Column,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.Marshal(fs)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256([]byte(unitID))
+	name := fmt.Sprintf("unit-%x.json", sum[:16])
+	return os.WriteFile(filepath.Join(dir, name), data, 0o666)
 }
 
 // unitImportPath strips cmd/go's test-variant suffix

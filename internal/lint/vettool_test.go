@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -8,6 +9,29 @@ import (
 	"strings"
 	"testing"
 )
+
+// buildVettool compiles cmd/drtmr-vet into dir and returns the binary path
+// plus the repo root.
+func buildVettool(t *testing.T, dir string) (tool, root string) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command unavailable: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(dir, "drtmr-vet")
+	if runtime.GOOS == "windows" {
+		tool += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", tool, "./cmd/drtmr-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building drtmr-vet: %v\n%s", err, out)
+	}
+	return tool, root
+}
 
 // TestVettoolProtocol builds cmd/drtmr-vet and drives it through the real
 // `go vet -vettool` protocol over the commit-pipeline packages — the
@@ -17,24 +41,7 @@ func TestVettoolProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the vettool and re-vets packages; skipped in -short")
 	}
-	if _, err := exec.LookPath("go"); err != nil {
-		t.Skipf("go command unavailable: %v", err)
-	}
-
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	tool := filepath.Join(t.TempDir(), "drtmr-vet")
-	if runtime.GOOS == "windows" {
-		tool += ".exe"
-	}
-
-	build := exec.Command("go", "build", "-o", tool, "./cmd/drtmr-vet")
-	build.Dir = root
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building drtmr-vet: %v\n%s", err, out)
-	}
+	tool, root := buildVettool(t, t.TempDir())
 
 	vet := exec.Command("go", "vet", "-vettool="+tool,
 		"./internal/txn/", "./internal/rdma/", "./internal/cluster/", "./internal/sim/")
@@ -48,7 +55,10 @@ func TestVettoolProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatalf("drtmr-vet -flags: %v", err)
 	}
-	for _, name := range []string{"htmregion", "virtualtime", "abortattr", "lockpair", "doorbell"} {
+	for _, name := range []string{
+		"htmregion", "virtualtime", "abortattr", "lockpair", "doorbell",
+		"lockorder", "hotalloc", "enumswitch",
+	} {
 		if !strings.Contains(string(out), `"`+name+`"`) {
 			t.Errorf("-flags output missing analyzer %q: %s", name, out)
 		}
@@ -61,4 +71,185 @@ func TestVettoolProtocol(t *testing.T) {
 		t.Errorf("-V=full output %q does not follow the tool ID protocol", vout)
 	}
 	_ = os.Remove(tool)
+}
+
+// seededBuggy is a module-"drtmr" package carrying one violation per
+// summary-based analyzer: a mutex held across a channel send (lockorder), a
+// hotpath append (hotalloc), and a non-exhaustive enum switch (enumswitch).
+const seededBuggy = `package txn
+
+import "sync"
+
+type Mode uint8
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) heldAcrossSend() {
+	b.mu.Lock()
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+//drtmr:hotpath
+func hotAppend(dst []uint64, v uint64) []uint64 {
+	return append(dst, v)
+}
+
+func pick(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	}
+	return 1
+}
+`
+
+// seededFixedAlloc is seededBuggy with the hotalloc violation repaired (the
+// other two bugs stay), so its baseline entry goes stale.
+const seededFixedAlloc = `package txn
+
+import "sync"
+
+type Mode uint8
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) heldAcrossSend() {
+	b.mu.Lock()
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+//drtmr:hotpath
+func hotStore(dst []uint64, i int, v uint64) {
+	dst[i] = v
+}
+
+func pick(m Mode) int {
+	switch m {
+	case ModeOff:
+		return 0
+	}
+	return 1
+}
+`
+
+// TestRatchetCLI drives the drtmr-vet ratchet CLI end to end over a
+// temporary module seeded with one violation per summary analyzer: a dirty
+// sweep fails with machine-readable JSON/SARIF output, -write-baseline
+// records the debt, the recorded sweep passes, and paying off a finding
+// without updating the ledger fails as a stale entry.
+func TestRatchetCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and runs go vet sweeps; skipped in -short")
+	}
+	tool, _ := buildVettool(t, t.TempDir())
+
+	mod := t.TempDir()
+	writeFile := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module drtmr\n\ngo 1.22\n")
+	writeFile("internal/txn/seeded.go", seededBuggy)
+
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(tool, args...)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("drtmr-vet %v: %v\n%s", args, err, out)
+		}
+		return string(out), code
+	}
+
+	// 1. Dirty sweep: exit 1, all three analyzers fire, JSON + SARIF land.
+	out, code := run("-json", "out.json", "-sarif", "out.sarif", "./...")
+	if code != 1 {
+		t.Fatalf("dirty sweep exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"lockorder", "hotalloc", "enumswitch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dirty sweep output missing %s finding:\n%s", want, out)
+		}
+	}
+	var arr []map[string]any
+	data, err := os.ReadFile(filepath.Join(mod, "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &arr); err != nil {
+		t.Fatalf("out.json: %v", err)
+	}
+	if len(arr) != 3 {
+		t.Fatalf("out.json has %d findings, want 3: %s", len(arr), data)
+	}
+	var sarif struct {
+		Runs []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	data, err = os.ReadFile(filepath.Join(mod, "out.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sarif); err != nil {
+		t.Fatalf("out.sarif: %v", err)
+	}
+	if len(sarif.Runs) != 1 || len(sarif.Runs[0].Results) != 3 {
+		t.Fatalf("out.sarif shape wrong: %s", data)
+	}
+
+	// 2. Record the debt; the recorded sweep is then clean.
+	if out, code := run("-write-baseline", "./..."); code != 0 {
+		t.Fatalf("-write-baseline exit %d\n%s", code, out)
+	}
+	if out, code := run("./..."); code != 0 || !strings.Contains(out, "ratchet clean") {
+		t.Fatalf("baselined sweep exit %d, want clean\n%s", code, out)
+	}
+
+	// 3. Fix the hotalloc bug without updating the ledger: stale entry.
+	writeFile("internal/txn/seeded.go", seededFixedAlloc)
+	out, code = run("./...")
+	if code != 1 || !strings.Contains(out, "stale baseline entry") {
+		t.Fatalf("paid-debt sweep exit %d, want 1 with stale entry\n%s", code, out)
+	}
+
+	// 4. Re-recording brings it back to green.
+	if out, code := run("-write-baseline", "./..."); code != 0 {
+		t.Fatalf("re-write-baseline exit %d\n%s", code, out)
+	}
+	if out, code := run("./..."); code != 0 {
+		t.Fatalf("final sweep exit %d, want 0\n%s", code, out)
+	}
 }

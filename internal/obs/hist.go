@@ -22,6 +22,8 @@ const (
 const numBuckets = histSub * (64 - histSubBits)
 
 // BucketIndex maps a value to its bucket. Exported for boundary tests.
+//
+//drtmr:hotpath
 func BucketIndex(v int64) int {
 	if v < histSub {
 		if v < 0 {
@@ -67,6 +69,8 @@ type Histogram struct {
 }
 
 // Record adds one value. Negative values clamp to zero.
+//
+//drtmr:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
@@ -89,6 +93,8 @@ func (h *Histogram) Record(v int64) {
 // using the cheaper single-writer Record. The two must not be mixed on one
 // histogram while concurrent readers exist. LiveRecord does not maintain
 // min/max; Snapshot derives them at bucket resolution instead.
+//
+//drtmr:hotpath
 func (h *Histogram) LiveRecord(v int64) {
 	if v < 0 {
 		v = 0
@@ -239,33 +245,47 @@ func NewTypedHist(names ...string) *TypedHist {
 	return &TypedHist{Names: names, H: make([]Histogram, len(names))}
 }
 
-// Record adds v under type ty (ignored if out of range) and to the
-// aggregate.
+// Record adds v under type ty and to the aggregate. An out-of-range ty is
+// dropped entirely (not even the aggregate), so the aggregate is always
+// exactly the sum of the typed histograms.
+//
+//drtmr:hotpath
 func (t *TypedHist) Record(ty int, v int64) {
-	if ty >= 0 && ty < len(t.H) {
-		t.H[ty].Record(v)
+	if ty < 0 || ty >= len(t.H) {
+		return
 	}
+	t.H[ty].Record(v)
 	t.all.Record(v)
 }
 
 // LiveRecord adds v under type ty with atomic operations (see
 // Histogram.LiveRecord): the mid-run path for per-procedure histograms a
-// status endpoint snapshots while workers record.
+// status endpoint snapshots while workers record. Out-of-range types are
+// dropped, as in Record.
+//
+//drtmr:hotpath
 func (t *TypedHist) LiveRecord(ty int, v int64) {
-	if ty >= 0 && ty < len(t.H) {
-		t.H[ty].LiveRecord(v)
+	if ty < 0 || ty >= len(t.H) {
+		return
 	}
+	t.H[ty].LiveRecord(v)
 	t.all.LiveRecord(v)
 }
 
 // Snapshot returns an atomically loaded copy of every per-type histogram
-// and the aggregate, safe to take while LiveRecord races.
+// with the aggregate derived by merging those copies, safe to take while
+// LiveRecord races. Deriving (rather than separately loading t.all) makes
+// the snapshot coherent by construction: its aggregate equals the sum of
+// its typed parts no matter how many records land mid-copy. Copying the
+// live aggregate instead would bound the skew only by whatever executes
+// between the typed loads and the aggregate load — a preempted snapshot
+// goroutine once made that window span an entire run.
 func (t *TypedHist) Snapshot() *TypedHist {
 	s := &TypedHist{Names: t.Names, H: make([]Histogram, len(t.H))}
 	for i := range t.H {
 		s.H[i] = t.H[i].Snapshot()
+		s.all.Merge(&s.H[i])
 	}
-	s.all = t.all.Snapshot()
 	return s
 }
 

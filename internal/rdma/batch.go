@@ -108,6 +108,7 @@ func (p *Pending) perform() {
 	case verbCAS:
 		nic.stats.Atomics.Add(1)
 		nic.atomicsMu.Lock()
+		//drtmr:allow lockorder IBV_ATOMIC_HCA semantics: atomicsMu serializes RDMA atomics while the engine drains conflicting HTM regions; the spin is bounded by region length and no coroutine parks under it
 		p.Prev, p.Swapped = nic.eng.CAS64NonTx(p.off, p.old, p.arg)
 		nic.atomicsMu.Unlock()
 	}

@@ -269,9 +269,13 @@ type Completion struct {
 
 // End returns the virtual completion time of the slowest verb in the
 // completion.
+//
+//drtmr:hotpath
 func (c *Completion) End() int64 { return c.end }
 
 // Err returns the first per-verb error without settling the latency charge.
+//
+//drtmr:hotpath
 func (c *Completion) Err() error { return c.err }
 
 // Wait advances the issuing worker's clock to max(now, completion time) and
@@ -279,6 +283,8 @@ func (c *Completion) Err() error { return c.err }
 // transactions while the verbs were in flight pays only the portion of the
 // round-trip not already covered — overlapped round-trips are charged once.
 // Wait is idempotent; waiting on a nil Completion is a no-op.
+//
+//drtmr:hotpath
 func (c *Completion) Wait() error {
 	if c == nil {
 		return nil
@@ -385,6 +391,7 @@ func (qp *QP) CAS(off uint64, old, new uint64) (prev uint64, swapped bool, err e
 	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.CAS, 8)
 	qp.remote.stats.Atomics.Add(1)
 	qp.remote.atomicsMu.Lock()
+	//drtmr:allow lockorder IBV_ATOMIC_HCA semantics: atomicsMu serializes RDMA atomics while the engine drains conflicting HTM regions; the spin is bounded by region length and no coroutine parks under it
 	prev, swapped = qp.remote.eng.CAS64NonTx(off, old, new)
 	qp.remote.atomicsMu.Unlock()
 	return prev, swapped, nil
@@ -398,6 +405,7 @@ func (qp *QP) FAA(off uint64, delta uint64) (prev uint64, err error) {
 	charge(qp.clk, qp.local, qp.remote, qp.local.net.cfg.Profile.CAS, 8)
 	qp.remote.stats.Atomics.Add(1)
 	qp.remote.atomicsMu.Lock()
+	//drtmr:allow lockorder IBV_ATOMIC_HCA semantics: same bounded serialization as CAS above
 	prev = qp.remote.eng.FAA64NonTx(off, delta)
 	qp.remote.atomicsMu.Unlock()
 	return prev, nil

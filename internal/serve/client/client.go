@@ -113,6 +113,7 @@ func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
 	for _, p := range c.idle {
+		//drtmr:allow lockorder teardown: TCP Close tears down the socket without blocking on the peer, and the pool must be drained atomically with the closed flag
 		p.nc.Close()
 	}
 	c.idle = nil
@@ -158,6 +159,7 @@ func (c *Client) release(p *pconn, healthy bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !healthy || c.closed {
+		//drtmr:allow lockorder teardown: TCP Close tears down the socket without blocking on the peer, and total/cond must update atomically with it
 		p.nc.Close()
 		c.total--
 		c.cond.Signal()

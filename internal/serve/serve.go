@@ -120,6 +120,7 @@ func (c *conn) writeResult(id uint64, status, reason, stage uint8, site uint16, 
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	//drtmr:allow lockorder wmu exists to serialize whole frames onto the socket; holding it across the write IS the invariant (interleaved partial frames would corrupt the stream)
 	return wire.WriteFrame(c.nc, buf)
 }
 
@@ -127,6 +128,7 @@ func (c *conn) writeStatusResult(id uint64, json []byte) error {
 	buf := wire.AppendStatusResult(nil, id, json)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	//drtmr:allow lockorder wmu exists to serialize whole frames onto the socket; holding it across the write IS the invariant (interleaved partial frames would corrupt the stream)
 	return wire.WriteFrame(c.nc, buf)
 }
 
@@ -250,6 +252,7 @@ func (s *Server) Close() {
 	}
 	s.httpMu.Lock()
 	for _, l := range s.httpLis {
+		//drtmr:allow lockorder shutdown: Listener.Close unblocks Accept without waiting on any peer; httpMu only orders it against listener registration
 		l.Close()
 	}
 	s.httpMu.Unlock()

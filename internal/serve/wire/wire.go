@@ -26,12 +26,16 @@ import (
 	"io"
 )
 
-// Message kinds (payload byte 0).
+// Kind is a message kind (payload byte 0). Typed so switches over a decoded
+// frame's kind are checked for exhaustiveness by the enumswitch analyzer.
+type Kind uint8
+
+// Message kinds.
 const (
-	KindCall         uint8 = 1
-	KindResult       uint8 = 2
-	KindStatus       uint8 = 3
-	KindStatusResult uint8 = 4
+	KindCall         Kind = 1
+	KindResult       Kind = 2
+	KindStatus       Kind = 3
+	KindStatusResult Kind = 4
 )
 
 // Result statuses.
@@ -57,7 +61,7 @@ var (
 // Msg is a decoded payload. Kind selects which fields are meaningful (see
 // the package comment's layout table).
 type Msg struct {
-	Kind uint8
+	Kind Kind
 	ID   uint64
 
 	// Call fields.
@@ -81,7 +85,7 @@ func AppendCall(dst []byte, id uint64, deadlineUs uint32, proc string, args []by
 	if len(proc) > 255 {
 		return dst, malformed("procedure name over 255 bytes")
 	}
-	dst = append(dst, KindCall)
+	dst = append(dst, byte(KindCall))
 	dst = binary.LittleEndian.AppendUint64(dst, id)
 	dst = binary.LittleEndian.AppendUint32(dst, deadlineUs)
 	dst = append(dst, uint8(len(proc)))
@@ -96,7 +100,7 @@ func AppendResult(dst []byte, id uint64, status, reason, stage uint8, site uint1
 	if len(detail) > 1<<16-1 {
 		detail = detail[:1<<16-1]
 	}
-	dst = append(dst, KindResult)
+	dst = append(dst, byte(KindResult))
 	dst = binary.LittleEndian.AppendUint64(dst, id)
 	dst = append(dst, status, reason, stage)
 	dst = binary.LittleEndian.AppendUint16(dst, site)
@@ -109,13 +113,13 @@ func AppendResult(dst []byte, id uint64, status, reason, stage uint8, site uint1
 
 // AppendStatusReq appends a Status request payload (unframed) to dst.
 func AppendStatusReq(dst []byte, id uint64) []byte {
-	dst = append(dst, KindStatus)
+	dst = append(dst, byte(KindStatus))
 	return binary.LittleEndian.AppendUint64(dst, id)
 }
 
 // AppendStatusResult appends a StatusResult payload (unframed) to dst.
 func AppendStatusResult(dst []byte, id uint64, json []byte) []byte {
-	dst = append(dst, KindStatusResult)
+	dst = append(dst, byte(KindStatusResult))
 	dst = binary.LittleEndian.AppendUint64(dst, id)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(json)))
 	return append(dst, json...)
@@ -182,10 +186,11 @@ func Decode(payload []byte) (Msg, error) {
 		return m, ErrFrameTooLarge
 	}
 	r := reader{b: payload}
-	kind, ok := r.u8()
+	k, ok := r.u8()
 	if !ok {
 		return m, malformed("empty payload")
 	}
+	kind := Kind(k)
 	m.Kind = kind
 	if m.ID, ok = r.u64(); !ok {
 		return m, malformed("truncated id")
@@ -279,12 +284,18 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // ReadFrame reads one length-prefixed frame into buf (grown as needed) and
 // returns the payload slice. A zero or over-MaxFrame length prefix errors
 // without reading the body, so a corrupt prefix cannot drive allocation.
+// The length prefix is staged in buf too (a local array would escape
+// through the io.Reader interface and cost one heap allocation per frame),
+// so a read loop that recycles buf runs allocation-free at steady state.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < 4 {
+		buf = make([]byte, 4)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n == 0 {
 		return nil, malformed("zero-length frame")
 	}

@@ -57,7 +57,7 @@ func TestDecodeRejects(t *testing.T) {
 	}{
 		{"empty", nil},
 		{"unknown kind", append([]byte{99}, make([]byte, 8)...)},
-		{"truncated id", []byte{KindCall, 1, 2}},
+		{"truncated id", []byte{byte(KindCall), 1, 2}},
 		{"truncated call", call[:len(call)-1]},
 		{"trailing bytes", append(append([]byte{}, call...), 0)},
 		{"status trailing", append(AppendStatusReq(nil, 1), 1)},
@@ -69,7 +69,7 @@ func TestDecodeRejects(t *testing.T) {
 	}
 	// A call whose inner args length points past the payload must error,
 	// not slice out of bounds.
-	bad := []byte{KindCall, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'p', 0xff, 0xff, 0xff, 0xff}
+	bad := []byte{byte(KindCall), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'p', 0xff, 0xff, 0xff, 0xff}
 	if _, err := Decode(bad); err == nil {
 		t.Error("oversized inner length accepted")
 	}
@@ -131,7 +131,7 @@ func FuzzFrameRoundtrip(f *testing.F) {
 	_ = WriteFrame(&fr2, seed2)
 	f.Add(fr2.Bytes())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
-	f.Add([]byte{1, 0, 0, 0, KindStatus})
+	f.Add([]byte{1, 0, 0, 0, byte(KindStatus)})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := ReadFrame(bytes.NewReader(data), nil)

@@ -33,6 +33,8 @@ type Clock struct {
 }
 
 // Advance moves the clock forward by d.
+//
+//drtmr:hotpath
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
 		c.ns.Add(int64(d))
@@ -40,6 +42,8 @@ func (c *Clock) Advance(d time.Duration) {
 }
 
 // AdvanceTo moves the clock forward to t (no-op if already past).
+//
+//drtmr:hotpath
 func (c *Clock) AdvanceTo(t int64) {
 	for {
 		cur := c.ns.Load()
@@ -53,6 +57,8 @@ func (c *Clock) AdvanceTo(t int64) {
 }
 
 // Now returns the current virtual time in nanoseconds.
+//
+//drtmr:hotpath
 func (c *Clock) Now() int64 { return c.ns.Load() }
 
 // WaitUntil advances the clock to t and reports how far it actually moved:
@@ -63,6 +69,8 @@ func (c *Clock) Now() int64 { return c.ns.Load() }
 // was fully overlapped and is charged at most once), while shared-resource
 // queueing (Resource.Use) still accumulates per verb, so overlap can hide
 // latency but can never compress wire bytes.
+//
+//drtmr:hotpath
 func (c *Clock) WaitUntil(t int64) (stalled int64) {
 	now := c.ns.Load()
 	if t <= now {
@@ -100,6 +108,8 @@ type Resource struct {
 
 // Use reserves dur of service time for a caller whose clock reads now.
 // Returns the virtual completion time; the caller should AdvanceTo it.
+//
+//drtmr:hotpath
 func (r *Resource) Use(now int64, dur time.Duration) int64 {
 	if dur <= 0 {
 		return now

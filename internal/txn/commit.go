@@ -444,6 +444,7 @@ func (proto drtmrProto) localHTMCommit(tx *Txn) error {
 				return tx.abortConflict(AbortValidate, "local validation failed")
 			case abortCodeWSLocked:
 				return tx.abortConflict(AbortLocked, "local ws record remotely locked")
+			default: // abortCodeLocked is execution-phase only; retry the region
 			}
 		}
 		w.backoff(attempt)
@@ -621,6 +622,9 @@ func (tx *Txn) applyInsertsDeletesSeq(initialSeq uint64) {
 				tx.countWakeup(e.node)
 				w.rpcDelete(e.node, e.table, e.key)
 			}
+		case wsUpdate, wsDelta:
+			// Not structural: updates and materialized deltas are installed
+			// in place by write-back (C.5), never here.
 		}
 	}
 }
@@ -830,6 +834,9 @@ func (tx *Txn) writeBackRemote() {
 			// write the seq word separately.
 			b.PostWrite64(w.QP(e.node), e.off+memstore.SeqOff, e.finSeq)
 			b.PostWrite(w.QP(e.node), e.off+24, img[24:])
+		case wsDelete:
+			// Deletes were applied structurally by applyInsertsDeletes;
+			// there is no image to install.
 		}
 	}
 	_ = tx.execBatch(PhaseWriteBack, b)

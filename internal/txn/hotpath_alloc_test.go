@@ -1,0 +1,80 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"drtmr/internal/htm"
+	"drtmr/internal/obs"
+	"drtmr/internal/sim"
+)
+
+// requireNoAlloc pins fn to zero allocations per call — the runtime half of
+// the hotalloc analyzer's static guarantee on //drtmr:hotpath functions.
+func requireNoAlloc(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("%s allocates %v times per call, want 0", name, allocs)
+	}
+}
+
+// TestHotpathAllocFree drives every //drtmr:hotpath-annotated recording and
+// clock primitive and checks AllocsPerRun == 0, so the static hotalloc
+// verdict and the runtime behaviour cannot drift apart.
+func TestHotpathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+
+	var h obs.Histogram
+	requireNoAlloc(t, "obs.Histogram.Record", func() { h.Record(1234) })
+	requireNoAlloc(t, "obs.Histogram.LiveRecord", func() { h.LiveRecord(1234) })
+
+	th := obs.NewTypedHist("payment", "neworder")
+	requireNoAlloc(t, "obs.TypedHist.Record", func() { th.Record(1, 99) })
+	requireNoAlloc(t, "obs.TypedHist.LiveRecord", func() { th.LiveRecord(0, 99) })
+
+	var am obs.AbortMatrix
+	requireNoAlloc(t, "obs.AbortMatrix.Record", func() { am.Record(2, 3, 1) })
+	requireNoAlloc(t, "obs.AbortMatrix.LiveRecord", func() { am.LiveRecord(2, 3, 1) })
+
+	requireNoAlloc(t, "obs.BucketIndex", func() { _ = obs.BucketIndex(1 << 40) })
+
+	var clk sim.Clock
+	requireNoAlloc(t, "sim.Clock.Advance", func() { clk.Advance(time.Microsecond) })
+	requireNoAlloc(t, "sim.Clock.AdvanceTo", func() { clk.AdvanceTo(clk.Now() + 10) })
+	requireNoAlloc(t, "sim.Clock.WaitUntil", func() { clk.WaitUntil(clk.Now() + 10) })
+
+	var res sim.Resource
+	now := int64(0)
+	requireNoAlloc(t, "sim.Resource.Use", func() {
+		now = res.Use(now, 100*time.Nanosecond)
+	})
+}
+
+// TestCoroutineHandoffAllocFree pins the steady-state yield/handoff cycle:
+// once the contexts exist, parking and resuming them must not allocate —
+// neither in Worker.yield nor in RunCoroutines' ring dispatch (pop-by-
+// reslice there used to reallocate the run queue on every handoff).
+func TestCoroutineHandoffAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	w := newWorld(t, 1, 1, htm.Config{})
+	wk := w.engines[0].NewWorker(0)
+	done := false
+	var allocs float64
+	wk.RunCoroutines(2, func(slot int) {
+		if slot == 0 {
+			allocs = testing.AllocsPerRun(200, func() { wk.yield() })
+			done = true
+			return
+		}
+		for !done {
+			wk.yield()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("yield/handoff allocates %v times per cycle, want 0", allocs)
+	}
+}

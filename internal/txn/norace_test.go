@@ -1,0 +1,5 @@
+//go:build !race
+
+package txn
+
+const raceEnabled = false

@@ -75,17 +75,22 @@ func (w *Worker) RunCoroutines(n int, fn func(slot int)) {
 		}()
 	}
 	// Round-robin dispatch with strict handoff: resume one context, then
-	// block until it parks itself (at a yield point or by finishing).
+	// block until it parks itself (at a yield point or by finishing). runq
+	// is a fixed ring — pop-from-front via reslicing would shrink the cap
+	// and make every handoff's re-enqueue reallocate.
+	head, queued := 0, n
 	for live := n; live > 0; {
-		c := runq[0]
-		runq = runq[1:]
+		c := runq[head]
+		head = (head + 1) % n
+		queued--
 		w.cur = c
 		c.resume <- struct{}{}
 		<-s.park
 		if c.done {
 			live--
 		} else {
-			runq = append(runq, c)
+			runq[(head+queued)%n] = c
+			queued++
 		}
 	}
 	w.cur = nil
@@ -96,6 +101,8 @@ func (w *Worker) RunCoroutines(n int, fn func(slot int)) {
 // one; a no-op without a scheduler. Yielding inside an HTM region is a
 // protocol bug — speculative state cannot survive a context switch — so the
 // scheduler asserts against it.
+//
+//drtmr:hotpath
 func (w *Worker) yield() {
 	c := w.cur
 	if c == nil {
@@ -128,8 +135,11 @@ func (w *Worker) yield() {
 // other in-flight transactions run during the fabric round-trip, then
 // charges only the uncovered remainder; without a scheduler it degenerates
 // to Completion.Wait — the exact synchronous accounting.
+//
+//drtmr:hotpath
 func (w *Worker) await(c *rdma.Completion) error {
 	if w.gate != nil {
+		//drtmr:allow hotalloc gate is the deterministic-mode worker-switch hook, nil on every measured configuration; the hook itself must not allocate but that is its installer's contract
 		w.gate() // deterministic mode: doorbells are worker-switch points too
 	}
 	if w.cur == nil {
@@ -151,5 +161,9 @@ func (w *Worker) await(c *rdma.Completion) error {
 // htmBegin/htmEnd bracket a commit-protocol HTM region on this worker so
 // the coroutine scheduler can assert that no region ever spans a yield
 // point.
+//
+//drtmr:hotpath
 func (w *Worker) htmBegin() { w.htmDepth++ }
-func (w *Worker) htmEnd()   { w.htmDepth-- }
+
+//drtmr:hotpath
+func (w *Worker) htmEnd() { w.htmDepth-- }

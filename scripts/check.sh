@@ -13,11 +13,18 @@ go vet ./...
 # Static protocol invariants: the drtmr-vet analyzer suite (internal/lint)
 # enforces the runtime invariants at compile time — no blocking/yield inside
 # HTM regions, no wall clock or global rand in protocol packages, fully
-# attributed txn.Error literals, complete lock-CAS back-out scans, and no
-# single-verb RDMA where a doorbell batch is in scope. Findings are hard
-# failures; suppressions require a reasoned //drtmr:allow.
+# attributed txn.Error literals, complete lock-CAS back-out scans, no
+# single-verb RDMA where a doorbell batch is in scope, lock-order/hold-
+# across-yield discipline, allocation-free //drtmr:hotpath functions, and
+# exhaustive protocol-enum switches. The ratchet CLI sweeps BOTH build-tag
+# halves (-race re-runs with -tags race) and diffs findings against the
+# committed lint-baseline.json in both directions: new findings are new
+# debt, stale entries are paid-off debt that must leave the ledger.
+# Suppressions require a reasoned //drtmr:allow. The SARIF log is the
+# code-scanning artifact for CI upload.
 go build -o bin/drtmr-vet ./cmd/drtmr-vet
-go vet -vettool="$PWD/bin/drtmr-vet" ./...
+./bin/drtmr-vet -race -sarif bin/drtmr-vet.sarif ./...
+echo "drtmr-vet SARIF artifact: bin/drtmr-vet.sarif"
 
 # Both halves of the //go:build race / !race pair must keep compiling: the
 # !race half is covered by the plain build+vet above; this compiles (and
